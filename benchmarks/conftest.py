@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+section and prints the paper-style rows/series (run pytest with ``-s`` to
+see them inline; they are also echoed into ``benchmarks/output/``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a benchmark's table and persist it under ``benchmarks/output/``."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / f"{name}.txt", "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,54 @@
+"""Ablation — autotuning search strategy and trial budget.
+
+Not a paper table; DESIGN.md calls out the tuner's search strategy as a
+design choice worth ablating.  Questions answered: how close do the random
+and evolutionary strategies get to the exhaustive optimum, and how does the
+tuned latency improve with the trial budget?
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.hwsim.autotune import KernelTuner
+from repro.hwsim.machine import INTEL_4790K
+from repro.hwsim.workload import ConvWorkload
+
+# A 280-resolution ResNet-50 stage-3 layer: the awkward-extent case tuning helps most.
+WORKLOAD = ConvWorkload(1, 256, 256, 18, 18, kernel_size=3, stride=1, padding=1)
+
+
+def run_strategy_ablation():
+    exhaustive = KernelTuner(INTEL_4790K, strategy="exhaustive", trials=1).tune(WORKLOAD)
+    rows = [["exhaustive", exhaustive.trials, exhaustive.best_seconds * 1e3, 1.0]]
+    for strategy in ("random", "evolutionary"):
+        for trials in (32, 128, 512):
+            result = KernelTuner(INTEL_4790K, strategy=strategy, trials=trials, seed=0).tune(
+                WORKLOAD
+            )
+            rows.append(
+                [
+                    strategy,
+                    result.trials,
+                    result.best_seconds * 1e3,
+                    result.best_seconds / exhaustive.best_seconds,
+                ]
+            )
+    return exhaustive, rows
+
+
+def test_ablation_tuning_strategies(benchmark):
+    exhaustive, rows = benchmark.pedantic(run_strategy_ablation, rounds=1, iterations=1)
+    emit(
+        "ablation_tuning_strategies",
+        format_table(
+            ["Strategy", "Trials evaluated", "Best latency (ms)", "vs exhaustive"],
+            rows,
+            float_format="{:.3f}",
+        ),
+    )
+    # Every strategy must be within 25% of the exhaustive optimum at 512 trials,
+    # and no strategy can beat the exhaustive search.
+    for strategy, trials, _, ratio in rows:
+        assert ratio >= 1.0 - 1e-9
+        if trials >= 512:
+            assert ratio <= 1.25

@@ -1,0 +1,46 @@
+"""Ablation — progressive-scan granularity versus achievable read savings.
+
+Not a paper table; DESIGN.md calls out the scan layout as a design choice.
+Question answered: how does the number of spectral-selection scans (the
+granularity at which bytes can be skipped) affect the read savings available
+at a fixed SSIM threshold?  Coarse layouts (2-3 scans) leave savings on the
+table; finer layouts approach the quality-limited bound.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.codec.progressive import ProgressiveEncoder
+from repro.data.dataset import SyntheticDataset
+from repro.data.profiles import CARS_LIKE
+from repro.storage.policy import ScanReadPolicy
+
+SSIM_THRESHOLD = 0.97
+RESOLUTION = 224
+
+
+def run_scan_granularity_ablation():
+    dataset = SyntheticDataset(CARS_LIKE, size=6, seed=2)
+    rows = []
+    for num_scans in (2, 3, 5, 8, 12):
+        encoder = ProgressiveEncoder(quality=CARS_LIKE.base_quality, num_scans=num_scans)
+        encoded = [encoder.encode(sample.render()) for sample in dataset]
+        policy = ScanReadPolicy(ssim_thresholds={RESOLUTION: SSIM_THRESHOLD})
+        relative_read = policy.expected_relative_read(encoded, RESOLUTION)
+        rows.append([num_scans, relative_read, 100.0 * (1.0 - relative_read)])
+    return rows
+
+
+def test_ablation_scan_granularity(benchmark):
+    rows = benchmark.pedantic(run_scan_granularity_ablation, rounds=1, iterations=1)
+    emit(
+        "ablation_scan_granularity",
+        format_table(
+            ["Scans", "Relative read @ SSIM 0.97", "Savings %"], rows, float_format="{:.3f}"
+        ),
+    )
+    savings = {row[0]: row[2] for row in rows}
+    # Finer scan layouts never reduce the available savings (more places to stop).
+    assert savings[12] >= savings[2] - 1.0
+    assert all(0.0 <= row[2] < 100.0 for row in rows)

@@ -1,0 +1,64 @@
+"""Fig 6 — storage calibration: accuracy change vs relative read size.
+
+Paper reference: Fig 6 (a-d): ResNet-18/50 on ImageNet and Cars, seven
+resolutions, three seeds.  Reproduced quantities: accuracy change is <= 0
+and recovers to 0 when all data is read; lower resolutions need less data
+for the same SSIM but lose accuracy faster; Cars tolerates low fidelity
+better than ImageNet.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.experiments import build_fig6_curves
+from repro.analysis.report import format_table
+
+RESOLUTION_SUBSET = (112, 224, 336, 448)
+
+
+def run_panel(dataset: str, model: str):
+    return build_fig6_curves(
+        dataset, model, resolutions=RESOLUTION_SUBSET, seeds=(1, 2),
+        num_images=6, sweep_points=5,
+    )
+
+
+def panel_to_table(curves):
+    rows = []
+    for curve in curves:
+        for read, change in zip(curve.relative_read_sizes, curve.accuracy_changes):
+            rows.append([curve.resolution, curve.seed, read, change])
+    return format_table(
+        ["Resolution", "Seed", "Relative read", "Accuracy change"], rows, "{:.3f}"
+    )
+
+
+def test_fig6a_imagenet_resnet18(benchmark):
+    curves = benchmark.pedantic(run_panel, args=("imagenet", "resnet18"), rounds=1, iterations=1)
+    emit("fig6a_imagenet_resnet18", panel_to_table(curves))
+    for curve in curves:
+        assert max(curve.accuracy_changes) <= 1e-9
+        assert curve.accuracy_changes[-1] == 0.0
+    low = min(c.accuracy_changes[0] for c in curves if c.resolution == 112)
+    high = min(c.accuracy_changes[0] for c in curves if c.resolution == 448)
+    assert low <= high  # low resolution degrades at least as fast
+
+
+def test_fig6c_cars_resnet18(benchmark):
+    curves = benchmark.pedantic(run_panel, args=("cars", "resnet18"), rounds=1, iterations=1)
+    emit("fig6c_cars_resnet18", panel_to_table(curves))
+    worst_drop = min(min(c.accuracy_changes) for c in curves)
+    assert worst_drop > -5.0
+
+
+def test_fig6b_fig6d_resnet50_datasets_differ(benchmark):
+    def run_both():
+        return run_panel("imagenet", "resnet50"), run_panel("cars", "resnet50")
+
+    imagenet_curves, cars_curves = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit("fig6b_imagenet_resnet50", panel_to_table(imagenet_curves))
+    emit("fig6d_cars_resnet50", panel_to_table(cars_curves))
+    # Cars preserves accuracy better at equal read size (curves shifted left).
+    imagenet_mean_drop = np.mean([np.mean(c.accuracy_changes) for c in imagenet_curves])
+    cars_mean_drop = np.mean([np.mean(c.accuracy_changes) for c in cars_curves])
+    assert cars_mean_drop >= imagenet_mean_drop

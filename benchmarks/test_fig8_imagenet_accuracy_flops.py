@@ -1,0 +1,56 @@
+"""Fig 8 — accuracy vs FLOPs on ImageNet, static vs dynamic resolution.
+
+Paper reference: Fig 8 (a-h): ResNet-18 and ResNet-50 at crop ratios
+25/56/75/100%.  Reproduced quantities: the static accuracy-vs-FLOPs curve
+per crop, and a dynamic operating point near the apex of each curve at a
+lower average compute cost, with smaller crops favouring lower resolutions.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.experiments import build_fig8_fig9_points
+from repro.analysis.report import format_table
+
+CROPS = (0.25, 0.56, 0.75, 1.00)
+
+
+def run_panel(model, crop):
+    return build_fig8_fig9_points("imagenet", model, crop, num_images=1200, seed=0)
+
+
+def emit_panel(name, points):
+    rows = [
+        [p.method, p.resolution if p.resolution else "-", p.gflops, p.accuracy]
+        for p in points
+    ]
+    emit(name, format_table(["Method", "Resolution", "GFLOPs", "Accuracy"], rows, "{:.2f}"))
+
+
+@pytest.mark.parametrize("crop", CROPS)
+def test_fig8_resnet18_panels(benchmark, crop):
+    points = benchmark.pedantic(run_panel, args=("resnet18", crop), rounds=1, iterations=1)
+    emit_panel(f"fig8_imagenet_resnet18_crop{int(crop * 100)}", points)
+    static = [p for p in points if p.method == "static"]
+    dynamic = next(p for p in points if p.method == "dynamic")
+    assert dynamic.accuracy >= max(p.accuracy for p in static) - 2.5
+    assert dynamic.gflops < max(p.gflops for p in static)
+
+
+@pytest.mark.parametrize("crop", (0.25, 0.75))
+def test_fig8_resnet50_panels(benchmark, crop):
+    points = benchmark.pedantic(run_panel, args=("resnet50", crop), rounds=1, iterations=1)
+    emit_panel(f"fig8_imagenet_resnet50_crop{int(crop * 100)}", points)
+    dynamic = next(p for p in points if p.method == "dynamic")
+    static = [p for p in points if p.method == "static"]
+    assert dynamic.accuracy >= max(p.accuracy for p in static) - 2.5
+
+
+def test_fig8_smaller_crops_favor_lower_resolutions(benchmark):
+    def both():
+        return run_panel("resnet18", 0.25), run_panel("resnet18", 1.00)
+
+    small_crop, full_crop = benchmark.pedantic(both, rounds=1, iterations=1)
+    best_small = max((p for p in small_crop if p.method == "static"), key=lambda p: p.accuracy)
+    best_full = max((p for p in full_crop if p.method == "static"), key=lambda p: p.accuracy)
+    assert best_small.resolution < best_full.resolution

@@ -1,0 +1,53 @@
+"""Fig 9 — accuracy vs FLOPs on Stanford Cars, static vs dynamic resolution.
+
+Paper reference: Fig 9 (a-h).  Reproduced quantities: same structure as
+Fig 8 with the Cars-specific behaviours — the much sharper accuracy collapse
+at low resolution for large crops, and the crossover at 25% crop where very
+high resolutions fall below low resolutions.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.experiments import build_fig8_fig9_points
+from repro.analysis.report import format_table
+
+CROPS = (0.25, 0.56, 0.75, 1.00)
+
+
+def run_panel(model, crop):
+    return build_fig8_fig9_points("cars", model, crop, num_images=1200, seed=0)
+
+
+def emit_panel(name, points):
+    rows = [
+        [p.method, p.resolution if p.resolution else "-", p.gflops, p.accuracy]
+        for p in points
+    ]
+    emit(name, format_table(["Method", "Resolution", "GFLOPs", "Accuracy"], rows, "{:.2f}"))
+
+
+@pytest.mark.parametrize("crop", CROPS)
+def test_fig9_resnet18_panels(benchmark, crop):
+    points = benchmark.pedantic(run_panel, args=("resnet18", crop), rounds=1, iterations=1)
+    emit_panel(f"fig9_cars_resnet18_crop{int(crop * 100)}", points)
+    static = [p for p in points if p.method == "static"]
+    dynamic = next(p for p in points if p.method == "dynamic")
+    assert dynamic.accuracy >= max(p.accuracy for p in static) - 3.0
+    assert dynamic.gflops < max(p.gflops for p in static)
+
+
+@pytest.mark.parametrize("crop", (0.25, 0.75))
+def test_fig9_resnet50_panels(benchmark, crop):
+    points = benchmark.pedantic(run_panel, args=("resnet50", crop), rounds=1, iterations=1)
+    emit_panel(f"fig9_cars_resnet50_crop{int(crop * 100)}", points)
+    dynamic = next(p for p in points if p.method == "dynamic")
+    static = [p for p in points if p.method == "static"]
+    assert dynamic.accuracy >= max(p.accuracy for p in static) - 3.0
+
+
+def test_fig9_small_crop_inverts_resolution_ranking(benchmark):
+    """Paper §VII.b: at a 25% crop on Cars, accuracy at 448 drops below 112."""
+    points = benchmark.pedantic(run_panel, args=("resnet18", 0.25), rounds=1, iterations=1)
+    static = {p.resolution: p.accuracy for p in points if p.method == "static"}
+    assert static[448] < static[112]

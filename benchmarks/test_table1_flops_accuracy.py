@@ -1,0 +1,36 @@
+"""Table I — compute complexity and accuracy scaling with input resolution.
+
+Paper reference: Table I (ResNet-18 trained at 224, evaluated at 112-448 on
+ImageNet).  Reproduced quantities: GFLOPs per resolution (exact, from the
+architecture) and the non-monotone accuracy curve peaking near 280.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import build_table1_rows
+from repro.analysis.report import format_table
+
+
+def test_table1_resnet18_flops_accuracy(benchmark):
+    rows = benchmark.pedantic(build_table1_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["Model", "Resolution", "GFLOPs", "Accuracy"],
+        [[row.model, row.resolution, row.gflops, row.accuracy] for row in rows],
+    )
+    emit("table1_resnet18", table)
+
+    by_resolution = {row.resolution: row for row in rows}
+    assert by_resolution[224].gflops < by_resolution[280].gflops
+    assert by_resolution[280].accuracy == max(row.accuracy for row in rows)
+
+
+def test_table1_resnet50_flops_accuracy(benchmark):
+    rows = benchmark.pedantic(
+        build_table1_rows, kwargs={"model": "resnet50"}, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["Model", "Resolution", "GFLOPs", "Accuracy"],
+        [[row.model, row.resolution, row.gflops, row.accuracy] for row in rows],
+    )
+    emit("table1_resnet50", table)
+    assert rows[2].gflops > 4.0  # ResNet-50 at 224 is ~4.1 GFLOPs

@@ -1,0 +1,63 @@
+"""Table II — ResNet-50 wall-clock latency, tuned vs library kernels.
+
+Paper reference: Table II (Intel 4790K and AMD 2990WX, batch size 1) and the
+§VII.a speedup discussion.  Reproduced quantities: tuned latency below
+library latency at every resolution, the 1.2x-1.7x advantage of tuned-280
+over library-224, and the realized 448->112 speedups ordering
+(tuned > library, Intel > AMD).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import build_table2_rows, speedup_summary
+from repro.analysis.report import format_table
+from repro.hwsim.machine import AMD_2990WX, INTEL_4790K
+from repro.surrogate.anchors import RESOLUTIONS
+
+PAPER_TABLE2 = {
+    "4790K": {112: (10.3, 28.8), 168: (18.9, 39.1), 224: (27.6, 50.9), 280: (43.4, 73.7),
+              336: (66.6, 97.6), 392: (93.4, 136.1), 448: (117.5, 161.1)},
+    "2990WX": {112: (7.4, 27.6), 168: (11.2, 31.0), 224: (16.8, 40.7), 280: (24.1, 51.8),
+               336: (32.0, 57.4), 392: (44.1, 76.6), 448: (49.9, 92.5)},
+}
+
+
+def test_table2_resnet50_latency(benchmark):
+    tables = benchmark.pedantic(
+        build_table2_rows,
+        kwargs={"machines": (INTEL_4790K, AMD_2990WX), "tuning_trials": 128},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for resolution in RESOLUTIONS:
+        row = [resolution]
+        for machine in ("4790K", "2990WX"):
+            tuned = tables[machine][resolution]["tuned"].latency_ms
+            library = tables[machine][resolution]["library"].latency_ms
+            paper_tuned, paper_library = PAPER_TABLE2[machine][resolution]
+            row.extend([tuned, library, paper_tuned, paper_library])
+        rows.append(row)
+    table = format_table(
+        ["Res", "4790K tuned", "4790K lib", "(paper t)", "(paper l)",
+         "2990WX tuned", "2990WX lib", "(paper t)", "(paper l)"],
+        rows,
+    )
+    summaries = {name: speedup_summary(tables[name]) for name in tables}
+    summary_text = "\n".join(
+        f"{name}: 448->112 speedup tuned {s['tuned_speedup']:.1f}x, "
+        f"library {s['library_speedup']:.1f}x (ideal {s['ideal_speedup']:.0f}x); "
+        f"tuned@280 vs library@224: {s['tuned280_vs_library224']:.2f}x"
+        for name, s in summaries.items()
+    )
+    emit("table2_resnet50_latency", table + "\n\n" + summary_text)
+
+    for machine, summary in summaries.items():
+        assert summary["tuned280_vs_library224"] >= 1.1
+        assert summary["tuned_speedup"] > summary["library_speedup"]
+    for machine in tables:
+        for resolution in RESOLUTIONS:
+            assert (
+                tables[machine][resolution]["tuned"].latency_ms
+                <= tables[machine][resolution]["library"].latency_ms
+            )

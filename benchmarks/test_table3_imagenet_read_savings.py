@@ -1,0 +1,54 @@
+"""Table III — ImageNet read-bandwidth savings with calibrated thresholds.
+
+Paper reference: Table III.  Reproduced quantities: default vs calibrated
+accuracy per (resolution, crop) with at most a small calibrated loss, the
+per-resolution read savings, and a dynamic-pipeline row whose savings are
+bounded by the scale model's 112x112 read.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.experiments import build_read_savings_table
+from repro.analysis.report import format_table
+
+CROPS = (0.75, 0.56, 0.25)
+
+
+def run_table(model):
+    return build_read_savings_table(
+        "imagenet", model, crop_ratios=CROPS, num_images=8, oracle_images=800, seed=1
+    )
+
+
+def emit_table(name, rows):
+    formatted = []
+    for row in rows:
+        line = [row.resolution]
+        for crop in CROPS:
+            line.extend([row.default_accuracy[crop], row.calibrated_accuracy[crop]])
+        line.append(row.read_savings_percent)
+        formatted.append(line)
+    emit(
+        name,
+        format_table(
+            ["Res", "75% def", "75% cal", "56% def", "56% cal", "25% def", "25% cal",
+             "Savings %"],
+            formatted,
+        ),
+    )
+
+
+@pytest.mark.parametrize("model", ["resnet18", "resnet50"])
+def test_table3_imagenet_read_savings(benchmark, model):
+    rows = benchmark.pedantic(run_table, args=(model,), rounds=1, iterations=1)
+    emit_table(f"table3_imagenet_{model}", rows)
+
+    for row in rows:
+        assert 0.0 <= row.read_savings_percent < 100.0
+        for crop in CROPS:
+            loss = row.default_accuracy[crop] - row.calibrated_accuracy[crop]
+            assert loss <= 0.5
+    dynamic = rows[-1]
+    assert dynamic.resolution == "dynamic"
+    assert dynamic.read_savings_percent > 0.0

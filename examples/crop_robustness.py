@@ -1,0 +1,60 @@
+"""Crop-size robustness of dynamic resolution (paper Figs 3, 8, 9, §VIII.a).
+
+Sweeps center-crop ratios and shows how the best *static* resolution moves
+around while the dynamic pipeline tracks the apex of every curve without
+knowing the crop in advance — the paper's alternative to fine-tuning for a
+known object-scale distribution.  Also demonstrates the §VIII.a load-shedding
+use: shrinking the crop lowers the average compute cost of the dynamic
+pipeline without retargeting anything.
+
+Run:  python examples/crop_robustness.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import build_fig8_fig9_points
+from repro.analysis.report import format_table
+
+CROPS = (0.25, 0.56, 0.75, 1.00)
+
+
+def sweep(dataset: str, model: str) -> None:
+    print(f"\n=== {dataset} / {model} ===")
+    rows = []
+    for crop in CROPS:
+        points = build_fig8_fig9_points(dataset, model, crop, num_images=800, seed=0)
+        static = [p for p in points if p.method == "static"]
+        dynamic = next(p for p in points if p.method == "dynamic")
+        best = max(static, key=lambda p: p.accuracy)
+        rows.append(
+            [
+                f"{int(crop * 100)}%",
+                best.resolution,
+                best.accuracy,
+                best.gflops,
+                dynamic.accuracy,
+                dynamic.gflops,
+            ]
+        )
+    print(
+        format_table(
+            ["crop", "best static res", "best static acc", "its GFLOPs",
+             "dynamic acc", "dynamic GFLOPs"],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+
+
+def main() -> None:
+    sweep("imagenet", "resnet18")
+    sweep("cars", "resnet50")
+    print(
+        "\nThe best static resolution moves with the crop (it would have to be "
+        "re-chosen, or the model re-tuned, for every deployment); the dynamic "
+        "pipeline stays near the apex everywhere at a lower average cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of "Characterizing and Taming Resolution in CNNs" (IISWC 2021).
+
+The package is organized around the three axes the paper characterizes plus
+the dynamic-resolution pipeline built on top of them:
+
+* :mod:`repro.nn` — numpy CNN substrate (ResNet-18/50, MobileNetV2, FLOPs);
+* :mod:`repro.imaging` — resize/crop/color transforms, PSNR/SSIM, synthetic scenes;
+* :mod:`repro.codec` — progressive DCT (JPEG-like) codec with per-scan byte accounting;
+* :mod:`repro.data` — synthetic dataset generators (ImageNet-like, Cars-like);
+* :mod:`repro.storage` — progressive image store, read accounting, bandwidth/cost model;
+* :mod:`repro.hwsim` — CPU machine models, conv kernel config space, vendor library,
+  autotuner, end-to-end latency model;
+* :mod:`repro.surrogate` — empirical accuracy surfaces calibrated to the paper;
+* :mod:`repro.core` — the paper's contribution: scale-model training, storage
+  calibration, the dynamic resolution pipeline, and static baselines;
+* :mod:`repro.analysis` — Pareto frontiers and paper-style table/figure builders.
+"""
+
+__version__ = "1.0.0"
+
+PAPER_RESOLUTIONS = (112, 168, 224, 280, 336, 392, 448)
+"""The seven inference resolutions evaluated throughout the paper."""
+
+PAPER_CROP_RATIOS = (0.25, 0.56, 0.75, 1.00)
+"""The center-crop area ratios used in the paper's accuracy/FLOPs study."""
+
+__all__ = ["PAPER_RESOLUTIONS", "PAPER_CROP_RATIOS", "__version__"]

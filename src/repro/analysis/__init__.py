@@ -1,0 +1,40 @@
+"""Analysis utilities: Pareto frontiers, experiment builders, text reports.
+
+:mod:`repro.analysis.experiments` contains one builder per table/figure in
+the paper's evaluation section; the benchmark harness under ``benchmarks/``
+calls these builders and prints the paper-style rows/series.
+"""
+
+from repro.analysis.pareto import ParetoPoint, is_pareto_optimal, pareto_frontier
+from repro.analysis.report import format_table
+from repro.analysis.experiments import (
+    AccuracyFlopsPoint,
+    Fig6Curve,
+    ReadSavingsRow,
+    build_fig6_curves,
+    build_fig7_series,
+    build_fig8_fig9_points,
+    build_read_savings_table,
+    build_table1_rows,
+    build_table2_rows,
+    dynamic_read_savings,
+    make_calibration_images,
+)
+
+__all__ = [
+    "ParetoPoint",
+    "pareto_frontier",
+    "is_pareto_optimal",
+    "format_table",
+    "AccuracyFlopsPoint",
+    "Fig6Curve",
+    "ReadSavingsRow",
+    "build_table1_rows",
+    "build_table2_rows",
+    "build_fig6_curves",
+    "build_fig7_series",
+    "build_fig8_fig9_points",
+    "build_read_savings_table",
+    "dynamic_read_savings",
+    "make_calibration_images",
+]

@@ -1,0 +1,45 @@
+"""Pareto-frontier utilities.
+
+The paper's headline claim about the dynamic-resolution pipeline is that it
+is *Pareto-optimal* in the accuracy-versus-compute plane: no static
+resolution achieves higher accuracy at lower or equal cost (Figs 8/9).
+These helpers compute frontiers over (cost, value) points where cost is
+minimized and value is maximized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One operating point: a cost to minimize, a value to maximize, and a label."""
+
+    cost: float
+    value: float
+    label: str = ""
+
+    def dominates(self, other: "ParetoPoint", tolerance: float = 0.0) -> bool:
+        """True when this point is at least as good on both axes and better on one."""
+        no_worse = self.cost <= other.cost + tolerance and self.value >= other.value - tolerance
+        strictly_better = self.cost < other.cost - tolerance or self.value > other.value + tolerance
+        return no_worse and strictly_better
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """The subset of ``points`` not dominated by any other point, sorted by cost."""
+    frontier = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points if other is not point)
+    ]
+    return sorted(frontier, key=lambda p: (p.cost, -p.value))
+
+
+def is_pareto_optimal(
+    candidate: ParetoPoint, points: Sequence[ParetoPoint], tolerance: float = 0.0
+) -> bool:
+    """True when no point in ``points`` dominates ``candidate`` beyond ``tolerance``."""
+    return not any(other.dominates(candidate, tolerance=tolerance) for other in points)

@@ -1,0 +1,31 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.1f}",
+    column_gap: str = "  ",
+) -> str:
+    """Render rows as a fixed-width text table (used by the benchmark harness)."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return column_gap.join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [format_row(list(headers)), format_row(["-" * w for w in widths])]
+    lines.extend(format_row(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Progressive DCT image codec.
+
+A from-scratch stand-in for progressive JPEG (paper §III.b, Fig 2): images
+are transformed to YCbCr, split into 8x8 blocks, DCT-transformed, quantized
+with the standard JPEG tables, and the quantized coefficients are grouped
+into *scans* by spectral selection (low-frequency coefficients first).  A
+byte-size model based on JPEG's run-length + magnitude-category coding
+estimates the encoded size of each scan, so reading a prefix of the scans
+reads a well-defined number of bytes and yields a progressively refined
+image — exactly the property the storage-calibration mechanism relies on.
+"""
+
+from repro.codec.dct import block_dct2, block_idct2, blockify, unblockify
+from repro.codec.quantization import (
+    CHROMA_QUANT_TABLE,
+    LUMA_QUANT_TABLE,
+    scale_quant_table,
+)
+from repro.codec.zigzag import ZIGZAG_ORDER, zigzag_indices
+from repro.codec.scans import DEFAULT_SCAN_BANDS, ScanBand, spectral_bands
+from repro.codec.size_model import estimate_scan_bytes
+from repro.codec.progressive import ProgressiveEncoder, ProgressiveImage
+
+__all__ = [
+    "block_dct2",
+    "block_idct2",
+    "blockify",
+    "unblockify",
+    "LUMA_QUANT_TABLE",
+    "CHROMA_QUANT_TABLE",
+    "scale_quant_table",
+    "ZIGZAG_ORDER",
+    "zigzag_indices",
+    "ScanBand",
+    "DEFAULT_SCAN_BANDS",
+    "spectral_bands",
+    "estimate_scan_bytes",
+    "ProgressiveEncoder",
+    "ProgressiveImage",
+]

@@ -1,0 +1,63 @@
+"""8x8 block DCT used by the progressive codec."""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK_SIZE = 8
+
+
+def _dct_matrix(n: int = BLOCK_SIZE) -> np.ndarray:
+    """Orthonormal DCT-II matrix ``C`` such that ``X = C x C^T`` for a block ``x``."""
+    k = np.arange(n)[:, None]
+    i = np.arange(n)[None, :]
+    matrix = np.cos(np.pi * (2 * i + 1) * k / (2 * n))
+    matrix *= np.sqrt(2.0 / n)
+    matrix[0, :] = np.sqrt(1.0 / n)
+    return matrix
+
+
+_DCT_MATRIX = _dct_matrix()
+
+
+def blockify(plane: np.ndarray, block_size: int = BLOCK_SIZE) -> tuple[np.ndarray, tuple[int, int]]:
+    """Split a 2-D plane into ``(num_blocks, B, B)`` blocks, padding by edge replication.
+
+    Returns the block array and the padded plane shape (needed to undo).
+    """
+    h, w = plane.shape
+    pad_h = (block_size - h % block_size) % block_size
+    pad_w = (block_size - w % block_size) % block_size
+    padded = np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
+    ph, pw = padded.shape
+    blocks = (
+        padded.reshape(ph // block_size, block_size, pw // block_size, block_size)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, block_size, block_size)
+    )
+    return blocks, (ph, pw)
+
+
+def unblockify(
+    blocks: np.ndarray, padded_shape: tuple[int, int], original_shape: tuple[int, int]
+) -> np.ndarray:
+    """Reassemble blocks produced by :func:`blockify` and crop to the original shape."""
+    ph, pw = padded_shape
+    block_size = blocks.shape[-1]
+    plane = (
+        blocks.reshape(ph // block_size, pw // block_size, block_size, block_size)
+        .transpose(0, 2, 1, 3)
+        .reshape(ph, pw)
+    )
+    h, w = original_shape
+    return plane[:h, :w]
+
+
+def block_dct2(blocks: np.ndarray) -> np.ndarray:
+    """Forward orthonormal 2-D DCT of a stack of 8x8 blocks."""
+    return _DCT_MATRIX @ blocks @ _DCT_MATRIX.T
+
+
+def block_idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`block_dct2`."""
+    return _DCT_MATRIX.T @ coefficients @ _DCT_MATRIX

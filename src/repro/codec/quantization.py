@@ -1,0 +1,52 @@
+"""JPEG quantization tables and quality scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Annex K luminance quantization table (JPEG standard).
+LUMA_QUANT_TABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+#: Annex K chrominance quantization table.
+CHROMA_QUANT_TABLE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def scale_quant_table(table: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base quantization table to a JPEG quality factor in [1, 100].
+
+    Uses the Independent JPEG Group formula: quality 50 keeps the base
+    table, higher qualities shrink the steps (finer quantization), lower
+    qualities grow them.
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in [1, 100]")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    scaled = np.floor((table * scale + 50.0) / 100.0)
+    return np.clip(scaled, 1.0, 255.0)

@@ -1,0 +1,76 @@
+"""Spectral-selection scan structure.
+
+Progressive JPEG transmits the DC coefficient first, then successive bands
+of AC coefficients in zigzag order (Fig 2 of the paper shows a five-scan
+example).  A :class:`ScanBand` names the inclusive range of zigzag
+positions carried by one scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScanBand:
+    """One progressive scan: zigzag positions ``start..end`` inclusive."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.end <= 63:
+            raise ValueError(f"invalid spectral band [{self.start}, {self.end}]")
+
+    @property
+    def width(self) -> int:
+        return self.end - self.start + 1
+
+
+#: Five-scan layout mirroring the paper's Fig 2 example: DC, then
+#: progressively wider AC bands.
+DEFAULT_SCAN_BANDS: tuple[ScanBand, ...] = (
+    ScanBand(0, 0),
+    ScanBand(1, 5),
+    ScanBand(6, 14),
+    ScanBand(15, 27),
+    ScanBand(28, 63),
+)
+
+
+def spectral_bands(num_scans: int) -> tuple[ScanBand, ...]:
+    """Build a ``num_scans``-scan spectral-selection layout.
+
+    The first scan always carries only the DC coefficient; the remaining 63
+    AC positions are split into bands that widen geometrically, matching the
+    byte-size growth pattern of real progressive JPEG scans.
+    """
+    if num_scans < 2:
+        raise ValueError("progressive encoding needs at least 2 scans")
+    if num_scans == 2:
+        return (ScanBand(0, 0), ScanBand(1, 63))
+
+    ac_scans = num_scans - 1
+    # Geometric growth of band widths over the 63 AC positions.
+    ratio = 1.7
+    weights = np.array([ratio**i for i in range(ac_scans)])
+    widths = np.maximum(1, np.round(63 * weights / weights.sum()).astype(int))
+    # Fix rounding so the widths sum to exactly 63.
+    while widths.sum() > 63:
+        widths[np.argmax(widths)] -= 1
+    while widths.sum() < 63:
+        widths[np.argmin(widths)] += 1
+
+    bands = [ScanBand(0, 0)]
+    start = 1
+    for width in widths:
+        end = min(63, start + int(width) - 1)
+        bands.append(ScanBand(start, end))
+        start = end + 1
+    # Guard against drift: force the final band to end at 63.
+    last = bands[-1]
+    if last.end != 63:
+        bands[-1] = ScanBand(last.start, 63)
+    return tuple(bands)

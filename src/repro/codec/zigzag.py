@@ -1,0 +1,25 @@
+"""Zigzag coefficient ordering for 8x8 DCT blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zigzag_indices(n: int = 8) -> np.ndarray:
+    """Return ``(n*n, 2)`` row/column indices in zigzag (low-to-high frequency) order."""
+    indices = []
+    for diagonal in range(2 * n - 1):
+        cells = []
+        for row in range(max(0, diagonal - n + 1), min(diagonal, n - 1) + 1):
+            cells.append((row, diagonal - row))
+        if diagonal % 2 == 0:
+            cells.reverse()
+        indices.extend(cells)
+    return np.array(indices, dtype=np.int64)
+
+
+#: Zigzag order for the standard 8x8 block, as ``(64, 2)`` (row, col) pairs.
+ZIGZAG_ORDER = zigzag_indices(8)
+
+#: Flat (row-major) index of each zigzag position, convenient for masking.
+ZIGZAG_FLAT = ZIGZAG_ORDER[:, 0] * 8 + ZIGZAG_ORDER[:, 1]

@@ -1,0 +1,222 @@
+"""SSIM-threshold storage calibration (paper §V).
+
+For every inference resolution the calibrator finds the minimum image
+quality — expressed as an SSIM threshold against the full-data image resized
+to that resolution — that keeps model accuracy within a tolerance of the
+all-data accuracy, using a small calibration set.  The search is the
+paper's: binary search over the SSIM interval ``[0.94, 1.0]``, terminating
+when the step size falls below ``1e-4``, with the constraint that no more
+than 0.05% accuracy is lost.
+
+The calibrator is generic over the *accuracy evaluator*: the real-model
+path evaluates a trained numpy backbone on decoded calibration images,
+while the paper-scale benchmark harness plugs in the accuracy surrogate.
+The binary-search logic, threshold-to-scans mapping and read-size
+accounting are identical in both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.codec.progressive import ProgressiveImage
+from repro.imaging.metrics import ssim
+from repro.imaging.resize import resize
+from repro.storage.policy import ScanReadPolicy
+
+#: Search interval and termination step from the paper.
+SSIM_SEARCH_LOW = 0.94
+SSIM_SEARCH_HIGH = 1.0
+SSIM_SEARCH_TOLERANCE = 1e-4
+#: Maximum allowed accuracy loss (percentage points).
+DEFAULT_MAX_ACCURACY_LOSS = 0.05
+
+#: Signature of an accuracy evaluator: (ssim_threshold, resolution) -> accuracy %.
+AccuracyEvaluator = Callable[[float, int], float]
+
+
+@dataclass(frozen=True)
+class CalibrationCurve:
+    """Accuracy-vs-read-size curve for one resolution (one line of Fig 6)."""
+
+    resolution: int
+    ssim_values: tuple[float, ...]
+    relative_read_sizes: tuple[float, ...]
+    accuracy_changes: tuple[float, ...]
+
+
+@dataclass
+class CalibrationResult:
+    """Output of a calibration run."""
+
+    ssim_thresholds: dict[int, float]
+    relative_read_sizes: dict[int, float]
+    baseline_accuracy: dict[int, float]
+    calibrated_accuracy: dict[int, float]
+    curves: list[CalibrationCurve] = field(default_factory=list)
+
+    def read_policy(self) -> ScanReadPolicy:
+        """Package the thresholds as a storage read policy."""
+        return ScanReadPolicy(ssim_thresholds=dict(self.ssim_thresholds))
+
+    def read_savings(self, resolution: int) -> float:
+        """Fraction of bytes saved at one resolution versus reading everything."""
+        return 1.0 - self.relative_read_sizes[resolution]
+
+
+class StorageCalibrator:
+    """Binary-search calibration of per-resolution SSIM thresholds."""
+
+    def __init__(
+        self,
+        calibration_images: Sequence[ProgressiveImage],
+        max_accuracy_loss: float = DEFAULT_MAX_ACCURACY_LOSS,
+        ssim_low: float = SSIM_SEARCH_LOW,
+        ssim_high: float = SSIM_SEARCH_HIGH,
+        tolerance: float = SSIM_SEARCH_TOLERANCE,
+    ) -> None:
+        if not calibration_images:
+            raise ValueError("calibration requires at least one encoded image")
+        if max_accuracy_loss < 0:
+            raise ValueError("max_accuracy_loss must be non-negative")
+        if not ssim_low < ssim_high <= 1.0:
+            raise ValueError("need ssim_low < ssim_high <= 1.0")
+        self.calibration_images = list(calibration_images)
+        self.max_accuracy_loss = max_accuracy_loss
+        self.ssim_low = ssim_low
+        self.ssim_high = ssim_high
+        self.tolerance = tolerance
+        # Caches reused across binary-search probes: decoded scan prefixes are
+        # by far the most expensive step, so they are cached per (image,
+        # scans); SSIM values are cached per (image, resolution, scans).
+        self._decode_cache: dict[tuple[int, int], "object"] = {}
+        self._ssim_cache: dict[tuple[int, int, int], float] = {}
+
+    # -- quality bookkeeping ----------------------------------------------------
+    def _decoded(self, image_index: int, encoded: ProgressiveImage, num_scans: int):
+        key = (image_index, num_scans)
+        if key not in self._decode_cache:
+            self._decode_cache[key] = encoded.decode(num_scans)
+        return self._decode_cache[key]
+
+    def _scan_ssim(self, image_index: int, encoded: ProgressiveImage, resolution: int,
+                   num_scans: int) -> float:
+        key = (image_index, resolution, num_scans)
+        if key not in self._ssim_cache:
+            reference = resize(
+                self._decoded(image_index, encoded, encoded.num_scans),
+                (resolution, resolution),
+                method="bilinear",
+            )
+            candidate = resize(
+                self._decoded(image_index, encoded, num_scans),
+                (resolution, resolution),
+                method="bilinear",
+            )
+            self._ssim_cache[key] = ssim(reference, candidate)
+        return self._ssim_cache[key]
+
+    def scans_for_threshold(self, resolution: int, threshold: float) -> list[int]:
+        """Per calibration image: smallest scan prefix meeting ``threshold``."""
+        choices = []
+        for index, encoded in enumerate(self.calibration_images):
+            chosen = encoded.num_scans
+            for num_scans in range(1, encoded.num_scans + 1):
+                if self._scan_ssim(index, encoded, resolution, num_scans) >= threshold:
+                    chosen = num_scans
+                    break
+            choices.append(chosen)
+        return choices
+
+    def relative_read_size(self, resolution: int, threshold: float) -> float:
+        """Mean relative read size across calibration images at a threshold."""
+        scans = self.scans_for_threshold(resolution, threshold)
+        fractions = [
+            encoded.relative_read_size(num_scans)
+            for encoded, num_scans in zip(self.calibration_images, scans)
+        ]
+        return float(np.mean(fractions))
+
+    # -- the paper's binary search ------------------------------------------------
+    def calibrate_resolution(
+        self, resolution: int, accuracy_evaluator: AccuracyEvaluator
+    ) -> tuple[float, float, float]:
+        """Binary-search the minimum admissible SSIM threshold for one resolution.
+
+        Returns ``(threshold, baseline_accuracy, calibrated_accuracy)``.
+        ``accuracy_evaluator(threshold, resolution)`` must return the model
+        accuracy when every image is read at the smallest scan prefix whose
+        SSIM reaches ``threshold`` (1.0 means "read everything").
+        """
+        baseline = accuracy_evaluator(1.0, resolution)
+        low, high = self.ssim_low, self.ssim_high
+
+        # If even the most aggressive threshold loses no accuracy, take it.
+        accuracy_at_low = accuracy_evaluator(low, resolution)
+        if baseline - accuracy_at_low <= self.max_accuracy_loss:
+            return low, baseline, accuracy_at_low
+
+        calibrated_accuracy = baseline
+        while (high - low) > self.tolerance:
+            mid = (low + high) / 2.0
+            accuracy = accuracy_evaluator(mid, resolution)
+            if baseline - accuracy <= self.max_accuracy_loss:
+                # Constraint satisfied: try to be more aggressive (lower SSIM).
+                high = mid
+                calibrated_accuracy = accuracy
+            else:
+                low = mid
+        return high, baseline, calibrated_accuracy
+
+    def calibrate(
+        self,
+        resolutions: Sequence[int],
+        accuracy_evaluator: AccuracyEvaluator,
+        curve_points: int = 0,
+    ) -> CalibrationResult:
+        """Calibrate every resolution; optionally record Fig 6-style sweep curves."""
+        thresholds: dict[int, float] = {}
+        read_sizes: dict[int, float] = {}
+        baselines: dict[int, float] = {}
+        calibrated: dict[int, float] = {}
+        curves: list[CalibrationCurve] = []
+        for resolution in resolutions:
+            threshold, baseline, accuracy = self.calibrate_resolution(
+                resolution, accuracy_evaluator
+            )
+            thresholds[resolution] = threshold
+            baselines[resolution] = baseline
+            calibrated[resolution] = accuracy
+            read_sizes[resolution] = self.relative_read_size(resolution, threshold)
+            if curve_points > 0:
+                curves.append(
+                    self.sweep_curve(resolution, accuracy_evaluator, curve_points)
+                )
+        return CalibrationResult(
+            ssim_thresholds=thresholds,
+            relative_read_sizes=read_sizes,
+            baseline_accuracy=baselines,
+            calibrated_accuracy=calibrated,
+            curves=curves,
+        )
+
+    def sweep_curve(
+        self, resolution: int, accuracy_evaluator: AccuracyEvaluator, points: int
+    ) -> CalibrationCurve:
+        """Sweep SSIM values and record (read size, accuracy change) — Fig 6 data."""
+        baseline = accuracy_evaluator(1.0, resolution)
+        ssim_values = np.linspace(self.ssim_low, self.ssim_high, points)
+        reads = []
+        changes = []
+        for threshold in ssim_values:
+            reads.append(self.relative_read_size(resolution, float(threshold)))
+            changes.append(accuracy_evaluator(float(threshold), resolution) - baseline)
+        return CalibrationCurve(
+            resolution=resolution,
+            ssim_values=tuple(float(v) for v in ssim_values),
+            relative_read_sizes=tuple(float(v) for v in reads),
+            accuracy_changes=tuple(float(v) for v in changes),
+        )

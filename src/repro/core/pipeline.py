@@ -1,0 +1,204 @@
+"""The end-to-end dynamic-resolution pipeline (paper Fig 4).
+
+For every request the pipeline:
+
+1. reads the calibrated scan prefix for the scale model's (low) resolution
+   from the progressive image store;
+2. runs the scale model to choose the backbone's inference resolution;
+3. reads any additional scans the chosen resolution's calibration requires
+   (incremental read — already-fetched scans are not paid for twice);
+4. crops/resizes to the chosen resolution and runs the backbone;
+5. accounts bytes read, backbone FLOPs and (optionally) simulated latency.
+
+The pipeline works with the real numpy models (tiny variants in tests and
+examples); the paper-scale benchmark harness reuses the same accounting
+logic against the accuracy surrogate instead (see
+``repro.analysis.experiments``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.policies import ResolutionPolicy, StaticResolutionPolicy
+from repro.imaging.transforms import InferencePreprocessor
+from repro.nn.flops import count_model_flops
+from repro.nn.module import Module
+from repro.storage.policy import ScanReadPolicy
+from repro.storage.store import ImageStore
+
+
+@dataclass(frozen=True)
+class InferenceRecord:
+    """Everything the pipeline did for one request."""
+
+    key: str
+    prediction: int
+    label: int | None
+    resolution: int
+    scans_read: int
+    bytes_read: int
+    total_bytes: int
+    backbone_macs: int
+    scale_model_macs: int
+
+    @property
+    def correct(self) -> bool | None:
+        if self.label is None:
+            return None
+        return self.prediction == self.label
+
+    @property
+    def relative_read_size(self) -> float:
+        return self.bytes_read / self.total_bytes
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate accounting over a batch of requests."""
+
+    records: list[InferenceRecord] = field(default_factory=list)
+
+    def add(self, record: InferenceRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def accuracy(self) -> float:
+        labelled = [r for r in self.records if r.label is not None]
+        if not labelled:
+            return float("nan")
+        return 100.0 * sum(r.correct for r in labelled) / len(labelled)
+
+    @property
+    def mean_bytes_read(self) -> float:
+        return float(np.mean([r.bytes_read for r in self.records])) if self.records else 0.0
+
+    @property
+    def mean_relative_read_size(self) -> float:
+        return (
+            float(np.mean([r.relative_read_size for r in self.records]))
+            if self.records
+            else 0.0
+        )
+
+    @property
+    def read_savings(self) -> float:
+        return 1.0 - self.mean_relative_read_size
+
+    @property
+    def mean_total_gmacs(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(
+            np.mean([(r.backbone_macs + r.scale_model_macs) / 1e9 for r in self.records])
+        )
+
+    def resolution_histogram(self) -> dict[int, int]:
+        histogram: dict[int, int] = {}
+        for record in self.records:
+            histogram[record.resolution] = histogram.get(record.resolution, 0) + 1
+        return histogram
+
+
+class DynamicResolutionPipeline:
+    """Two-model dynamic-resolution inference over a progressive image store."""
+
+    def __init__(
+        self,
+        store: ImageStore,
+        backbone: Module,
+        policy: ResolutionPolicy,
+        resolutions: tuple[int, ...],
+        read_policy: ScanReadPolicy | None = None,
+        scale_resolution: int | None = None,
+        scale_model_macs: int = 0,
+        crop_ratio: float = 0.75,
+    ) -> None:
+        if not resolutions:
+            raise ValueError("need at least one candidate resolution")
+        self.store = store
+        self.backbone = backbone
+        self.policy = policy
+        self.resolutions = tuple(sorted(resolutions))
+        self.read_policy = read_policy or ScanReadPolicy()
+        self.scale_resolution = scale_resolution or min(self.resolutions)
+        self.scale_model_macs = scale_model_macs
+        self.preprocessor = InferencePreprocessor(crop_ratio=crop_ratio)
+        self._backbone_macs_cache: dict[int, int] = {}
+        self.stats = PipelineStats()
+
+    # -- accounting helpers -------------------------------------------------------
+    def backbone_macs(self, resolution: int) -> int:
+        if resolution not in self._backbone_macs_cache:
+            self._backbone_macs_cache[resolution] = count_model_flops(
+                self.backbone, resolution, convention="macs"
+            )
+        return self._backbone_macs_cache[resolution]
+
+    @property
+    def is_dynamic(self) -> bool:
+        return not isinstance(self.policy, StaticResolutionPolicy)
+
+    # -- inference --------------------------------------------------------------
+    def infer(self, key: str) -> InferenceRecord:
+        """Run the full pipeline for the stored image under ``key``."""
+        stored = self.store.metadata(key)
+        encoded = stored.encoded
+
+        if self.is_dynamic:
+            # Stage 1: cheap read at the scale model's resolution.
+            stage1_scans = self.read_policy.scans_for(encoded, self.scale_resolution, key=key)
+            stage1_image, stage1_receipt = self.store.read(key, stage1_scans)
+            resolution = self.policy.select(stage1_image)
+            scale_macs = self.scale_model_macs
+
+            # Stage 2: top up the read if the chosen resolution needs more scans.
+            stage2_scans = max(
+                stage1_scans, self.read_policy.scans_for(encoded, resolution, key=key)
+            )
+            if stage2_scans > stage1_scans:
+                image, stage2_receipt = self.store.read_additional(
+                    key, stage1_scans, stage2_scans
+                )
+                bytes_read = stage1_receipt.bytes_read + stage2_receipt.bytes_read
+            else:
+                image = stage1_image
+                bytes_read = stage1_receipt.bytes_read
+            scans_read = stage2_scans
+        else:
+            resolution = self.policy.select(np.empty(0))
+            scans_read = self.read_policy.scans_for(encoded, resolution, key=key)
+            image, receipt = self.store.read(key, scans_read)
+            bytes_read = receipt.bytes_read
+            scale_macs = 0
+
+        inputs = self.preprocessor(image, resolution)
+        self.backbone.eval()
+        logits = self.backbone(inputs)
+        prediction = int(np.argmax(logits[0]))
+
+        record = InferenceRecord(
+            key=key,
+            prediction=prediction,
+            label=stored.label,
+            resolution=resolution,
+            scans_read=scans_read,
+            bytes_read=bytes_read,
+            total_bytes=encoded.total_bytes,
+            backbone_macs=self.backbone_macs(resolution),
+            scale_model_macs=scale_macs,
+        )
+        self.stats.add(record)
+        return record
+
+    def infer_all(self, keys: list[str]) -> PipelineStats:
+        """Run the pipeline over many keys, returning the aggregate statistics."""
+        for key in keys:
+            self.infer(key)
+        return self.stats

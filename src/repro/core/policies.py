@@ -1,0 +1,94 @@
+"""Resolution selection policies.
+
+A policy answers "what resolution should the backbone run at for this
+image?".  Three policies cover the paper's comparison:
+
+* :class:`StaticResolutionPolicy` — the baseline: one fixed resolution for
+  every image (the paper additionally grants this baseline oracle knowledge
+  of the best fixed resolution for the dataset/crop);
+* :class:`DynamicResolutionPolicy` — the paper's contribution: a scale-model
+  predictor picks the resolution per image;
+* :class:`OracleResolutionPolicy` — an upper bound that consults the true
+  per-image correctness (useful for analysis/ablations, not deployable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scale_model import ScaleModelPredictor
+
+
+class ResolutionPolicy:
+    """Interface: map an image (HWC array) to an inference resolution."""
+
+    name = "base"
+
+    def select(self, image: np.ndarray) -> int:
+        raise NotImplementedError
+
+
+class StaticResolutionPolicy(ResolutionPolicy):
+    """Always use one fixed resolution."""
+
+    def __init__(self, resolution: int) -> None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.resolution = resolution
+        self.name = f"static-{resolution}"
+
+    def select(self, image: np.ndarray) -> int:
+        return self.resolution
+
+
+class DynamicResolutionPolicy(ResolutionPolicy):
+    """Use a trained scale model to pick the resolution per image."""
+
+    def __init__(self, predictor: ScaleModelPredictor, prefer_cheaper: bool = True) -> None:
+        self.predictor = predictor
+        self.prefer_cheaper = prefer_cheaper
+        self.name = "dynamic"
+        self.last_probabilities: np.ndarray | None = None
+
+    def select(self, image: np.ndarray) -> int:
+        resolution, probabilities = self.predictor.choose_resolution(
+            image, prefer_cheaper=self.prefer_cheaper
+        )
+        self.last_probabilities = probabilities
+        return resolution
+
+
+class OracleResolutionPolicy(ResolutionPolicy):
+    """Pick the cheapest resolution at which the backbone is actually correct.
+
+    Requires ground-truth correctness per (image, resolution); used only for
+    upper-bound analysis.
+    """
+
+    def __init__(self, resolutions: tuple[int, ...]) -> None:
+        self.resolutions = tuple(sorted(resolutions))
+        self.name = "oracle"
+        self._correctness: dict[int, np.ndarray] = {}
+        self._cursor = 0
+
+    def register(self, image_index: int, correctness: np.ndarray) -> None:
+        """Record the per-resolution correctness vector for one image index."""
+        correctness = np.asarray(correctness)
+        if correctness.shape != (len(self.resolutions),):
+            raise ValueError("correctness vector must align with the policy's resolutions")
+        self._correctness[image_index] = correctness
+
+    def select_for_index(self, image_index: int) -> int:
+        """Resolution choice for a registered image index."""
+        correctness = self._correctness.get(image_index)
+        if correctness is None:
+            return self.resolutions[-1]
+        for column, resolution in enumerate(self.resolutions):
+            if correctness[column] > 0.5:
+                return resolution
+        return self.resolutions[-1]
+
+    def select(self, image: np.ndarray) -> int:
+        raise NotImplementedError(
+            "OracleResolutionPolicy selects by image index; use select_for_index"
+        )

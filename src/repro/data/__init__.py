@@ -1,0 +1,30 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on ImageNet-1k and Stanford Cars.  Neither is available
+offline, so this package provides procedurally generated stand-ins whose
+controllable properties match what the paper's characterization depends on:
+per-dataset resolution statistics, object-scale distributions, and the
+relative importance of coarse shape versus fine texture (see
+``DESIGN.md`` for the substitution rationale).
+"""
+
+from repro.data.profiles import (
+    CARS_LIKE,
+    IMAGENET_LIKE,
+    DatasetProfile,
+    get_profile,
+)
+from repro.data.dataset import SyntheticDataset, SyntheticSample
+from repro.data.splits import DatasetSplits, kfold_shards, train_val_split
+
+__all__ = [
+    "DatasetProfile",
+    "IMAGENET_LIKE",
+    "CARS_LIKE",
+    "get_profile",
+    "SyntheticDataset",
+    "SyntheticSample",
+    "DatasetSplits",
+    "train_val_split",
+    "kfold_shards",
+]

@@ -1,0 +1,127 @@
+"""Synthetic dataset generation.
+
+A :class:`SyntheticDataset` materializes a :class:`~repro.data.profiles.DatasetProfile`
+into a reproducible list of :class:`SyntheticSample` scene descriptions.
+Samples are rendered lazily (and deterministically) at whatever resolution
+the caller asks for, which is what lets the same logical image be stored at
+its native resolution and later decoded/resized to any inference resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.profiles import DatasetProfile
+from repro.imaging.synthetic import SceneSpec, render_scene
+
+
+@dataclass(frozen=True)
+class SyntheticSample:
+    """One dataset element: a scene spec plus its storage resolution and label."""
+
+    index: int
+    spec: SceneSpec
+    storage_resolution: int
+
+    @property
+    def label(self) -> int:
+        return self.spec.class_id
+
+    @property
+    def object_scale(self) -> float:
+        return self.spec.object_scale
+
+    def render(self, resolution: int | None = None) -> np.ndarray:
+        """Render the scene at ``resolution`` (defaults to its storage resolution)."""
+        return render_scene(self.spec, resolution or self.storage_resolution)
+
+
+class SyntheticDataset:
+    """A reproducible collection of synthetic scenes drawn from a profile."""
+
+    def __init__(self, profile: DatasetProfile, size: int, seed: int = 0) -> None:
+        if size <= 0:
+            raise ValueError("dataset size must be positive")
+        self.profile = profile
+        self.size = size
+        self.seed = seed
+        self._samples = self._generate(profile, size, seed)
+
+    @staticmethod
+    def _generate(
+        profile: DatasetProfile, size: int, seed: int
+    ) -> list[SyntheticSample]:
+        rng = np.random.default_rng(seed)
+        samples = []
+        for index in range(size):
+            class_id = int(rng.integers(0, profile.num_classes))
+            object_scale = float(
+                np.clip(
+                    rng.normal(profile.object_scale_mean, profile.object_scale_std),
+                    0.12,
+                    1.2,
+                )
+            )
+            center_jitter = 0.5 * (1.0 - min(object_scale, 1.0))
+            center_x = float(0.5 + rng.uniform(-center_jitter, center_jitter) * 0.5)
+            center_y = float(0.5 + rng.uniform(-center_jitter, center_jitter) * 0.5)
+            storage_resolution = int(
+                np.clip(
+                    rng.normal(
+                        profile.storage_resolution_mean, profile.storage_resolution_std
+                    ),
+                    96,
+                    1024,
+                )
+            )
+            spec = SceneSpec(
+                class_id=class_id,
+                object_scale=object_scale,
+                center_x=center_x,
+                center_y=center_y,
+                texture_phase=float(rng.uniform(0.0, 2 * np.pi)),
+                background_seed=int(rng.integers(0, 2**31 - 1)),
+                texture_weight=profile.texture_weight,
+                num_classes=profile.num_classes,
+            )
+            samples.append(
+                SyntheticSample(
+                    index=index, spec=spec, storage_resolution=storage_resolution
+                )
+            )
+        return samples
+
+    # -- sequence protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> SyntheticSample:
+        return self._samples[index]
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    # -- convenience ------------------------------------------------------------
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([sample.label for sample in self._samples], dtype=np.int64)
+
+    @property
+    def object_scales(self) -> np.ndarray:
+        return np.array([sample.object_scale for sample in self._samples])
+
+    def subset(self, indices: np.ndarray | list[int]) -> list[SyntheticSample]:
+        """Materialize a subset by index list (used by splits/shards)."""
+        return [self._samples[int(i)] for i in indices]
+
+    def render_batch(
+        self, indices: list[int], resolution: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Render selected samples at ``resolution`` into an NHWC batch + labels."""
+        images = np.stack(
+            [self._samples[int(i)].render(resolution) for i in indices], axis=0
+        )
+        labels = np.array([self._samples[int(i)].label for i in indices], dtype=np.int64)
+        return images, labels

@@ -1,0 +1,67 @@
+"""Train/validation splits and cross-validation shards.
+
+The scale model's training scheme (paper Fig 5) trains several backbone
+models on disjoint shards of the training set and trains the scale model on
+the shard each backbone has *not* seen.  :func:`kfold_shards` produces the
+required disjoint shards; :class:`DatasetSplits` packages the standard
+train/validation/calibration split used elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetSplits:
+    """Index sets for the standard split of one dataset."""
+
+    train: np.ndarray
+    validation: np.ndarray
+    calibration: np.ndarray
+
+    def __post_init__(self) -> None:
+        all_indices = np.concatenate([self.train, self.validation, self.calibration])
+        if len(np.unique(all_indices)) != len(all_indices):
+            raise ValueError("splits overlap")
+
+
+def train_val_split(
+    size: int,
+    val_fraction: float = 0.2,
+    calibration_fraction: float = 0.1,
+    seed: int = 0,
+) -> DatasetSplits:
+    """Shuffle ``range(size)`` and split into train/validation/calibration.
+
+    The calibration slice mirrors the paper's use of a small amount of
+    training data (10,000 images per split in §V) to tune SSIM thresholds.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    if not 0.0 <= calibration_fraction < 1.0:
+        raise ValueError("calibration_fraction must be in [0, 1)")
+    if val_fraction + calibration_fraction >= 1.0:
+        raise ValueError("validation + calibration fractions must leave room for training")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(size)
+    num_val = max(1, int(round(size * val_fraction)))
+    num_cal = int(round(size * calibration_fraction))
+    validation = order[:num_val]
+    calibration = order[num_val : num_val + num_cal]
+    train = order[num_val + num_cal :]
+    return DatasetSplits(train=train, validation=validation, calibration=calibration)
+
+
+def kfold_shards(indices: np.ndarray, num_shards: int, seed: int = 0) -> list[np.ndarray]:
+    """Partition ``indices`` into ``num_shards`` disjoint, near-equal shards."""
+    if num_shards < 2:
+        raise ValueError("need at least 2 shards for cross-validation training")
+    indices = np.asarray(indices)
+    if len(indices) < num_shards:
+        raise ValueError("fewer indices than shards")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(indices)
+    return [shard for shard in np.array_split(order, num_shards)]

@@ -1,0 +1,57 @@
+"""Hardware performance simulation and kernel autotuning.
+
+The paper measures wall-clock inference latency on an Intel 4790K (4 cores)
+and an AMD Threadripper 2990WX (32 cores), comparing vendor-library
+(MKLDNN) convolution kernels against TVM-autotuned, resolution-specialized
+kernels (Fig 7, Table II).  Neither machine nor the native libraries are
+available here, so this package provides:
+
+* :mod:`repro.hwsim.machine` — analytical CPU machine models (cores, SIMD
+  width, FMA throughput, cache sizes, memory bandwidth) with presets for a
+  4790K-class and a 2990WX-class part;
+* :mod:`repro.hwsim.workload` — convolution workload descriptions extracted
+  from a model at a given inference resolution;
+* :mod:`repro.hwsim.kernels` — the kernel configuration space (tiling,
+  vectorization, unrolling, threading);
+* :mod:`repro.hwsim.perf_model` — a roofline-style analytical execution-time
+  model capturing vectorization tail waste, thread load imbalance, cache
+  blocking, and loop overhead;
+* :mod:`repro.hwsim.library` — a simulated vendor library whose kernels are
+  specialized for the common 224-family shapes only;
+* :mod:`repro.hwsim.autotune` — random / evolutionary search over the kernel
+  configuration space per (layer, resolution, machine);
+* :mod:`repro.hwsim.latency` — end-to-end model latency and throughput, with
+  either library or tuned kernels.
+
+The quantities of interest are the *ratios* (tuned vs library, high vs low
+resolution), which reproduce the mechanisms behind the paper's findings;
+absolute milliseconds are model estimates, not measurements.
+"""
+
+from repro.hwsim.machine import AMD_2990WX, INTEL_4790K, MachineModel, get_machine
+from repro.hwsim.workload import ConvWorkload, model_conv_workloads
+from repro.hwsim.kernels import KernelConfig, default_config, enumerate_configs
+from repro.hwsim.perf_model import execution_time_seconds, workload_bytes
+from repro.hwsim.library import library_config
+from repro.hwsim.autotune import AutotuneResult, KernelTuner, TuningCache
+from repro.hwsim.latency import LatencyBreakdown, ModelLatencyEstimator
+
+__all__ = [
+    "MachineModel",
+    "INTEL_4790K",
+    "AMD_2990WX",
+    "get_machine",
+    "ConvWorkload",
+    "model_conv_workloads",
+    "KernelConfig",
+    "default_config",
+    "enumerate_configs",
+    "execution_time_seconds",
+    "workload_bytes",
+    "library_config",
+    "KernelTuner",
+    "AutotuneResult",
+    "TuningCache",
+    "LatencyBreakdown",
+    "ModelLatencyEstimator",
+]

@@ -1,0 +1,236 @@
+"""Kernel autotuning.
+
+The paper relies on automatic tensor-program optimization (TVM/AutoTVM
+style) to generate a specialized convolution schedule per (layer shape,
+resolution, machine) with no manual effort (§VI).  The tuner here searches
+the :mod:`repro.hwsim.kernels` configuration space, scoring candidates with
+the analytical performance model — the analogue of AutoTVM's measured
+trials.  Three strategies are provided:
+
+* ``"exhaustive"`` — score every legal config (the space is small enough
+  for a few thousand configs per workload);
+* ``"random"`` — uniform random sampling with a trial budget;
+* ``"evolutionary"`` — random initialization followed by mutation of the
+  best candidates, the strategy closest to AutoTVM's simulated annealing.
+
+Results are cached per (workload signature, machine) in a
+:class:`TuningCache` so a model-level latency estimate tunes each distinct
+layer shape once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hwsim.kernels import (
+    TILE_OC_CANDIDATES,
+    TILE_OH_CANDIDATES,
+    TILE_OW_CANDIDATES,
+    UNROLL_CANDIDATES,
+    VECTORIZE_CANDIDATES,
+    KernelConfig,
+    default_config,
+    enumerate_configs,
+)
+from repro.hwsim.library import library_config
+from repro.hwsim.machine import MachineModel
+from repro.hwsim.perf_model import execution_time_seconds
+from repro.hwsim.workload import ConvWorkload
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Best schedule found for one workload plus the search history."""
+
+    workload: ConvWorkload
+    machine_name: str
+    best_config: KernelConfig
+    best_seconds: float
+    trials: int
+    history: tuple[float, ...] = ()
+
+    @property
+    def best_gflops(self) -> float:
+        return self.workload.flops / self.best_seconds / 1e9
+
+
+@dataclass
+class TuningCache:
+    """In-memory cache of tuning results keyed by (workload signature, machine)."""
+
+    results: dict = field(default_factory=dict)
+
+    def get(self, workload: ConvWorkload, machine: MachineModel) -> AutotuneResult | None:
+        return self.results.get((workload.signature(), machine.name))
+
+    def put(self, result: AutotuneResult, machine: MachineModel) -> None:
+        self.results[(result.workload.signature(), machine.name)] = result
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class KernelTuner:
+    """Search the kernel configuration space for one machine."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        strategy: str = "evolutionary",
+        trials: int = 256,
+        seed: int = 0,
+        cache: TuningCache | None = None,
+    ) -> None:
+        if strategy not in ("exhaustive", "random", "evolutionary"):
+            raise ValueError(f"unknown tuning strategy {strategy!r}")
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        self.machine = machine
+        self.strategy = strategy
+        self.trials = trials
+        self.seed = seed
+        self.cache = cache if cache is not None else TuningCache()
+
+    # -- candidate generation -------------------------------------------------
+    def _seed_candidates(self, workload: ConvWorkload) -> list[KernelConfig]:
+        """Always-evaluated candidates: the library schedule and a naive default.
+
+        Seeding with the library schedule guarantees tuned performance is
+        never worse than the library (the tuner can only improve on it).
+        """
+        return [
+            library_config(workload, self.machine),
+            default_config(workload, self.machine.inference_threads, self.machine.simd_lanes),
+        ]
+
+    def _mutate(
+        self, config: KernelConfig, workload: ConvWorkload, rng: np.random.Generator
+    ) -> KernelConfig:
+        """Randomly perturb one knob of a configuration."""
+        knob = rng.integers(0, 6)
+        tile_oc, tile_oh, tile_ow = config.tile_oc, config.tile_oh, config.tile_ow
+        unroll, threads = config.unroll, config.threads
+        vectorize = config.vectorize
+        if knob == 0:
+            tile_oc = int(rng.choice([t for t in TILE_OC_CANDIDATES if t <= workload.out_channels] or [workload.out_channels]))
+        elif knob == 1:
+            tile_oh = int(rng.choice([t for t in TILE_OH_CANDIDATES if t <= workload.out_height] or [workload.out_height]))
+        elif knob == 2:
+            tile_ow = int(rng.choice([t for t in TILE_OW_CANDIDATES if t <= workload.out_width] or [workload.out_width]))
+        elif knob == 3:
+            unroll = int(rng.choice(UNROLL_CANDIDATES))
+        elif knob == 4:
+            max_threads = self.machine.inference_threads
+            threads = int(rng.choice(sorted({1, max(1, max_threads // 2), max_threads})))
+        else:
+            vectorize = str(rng.choice(VECTORIZE_CANDIDATES))
+        return KernelConfig(
+            tile_oc=tile_oc,
+            tile_oh=tile_oh,
+            tile_ow=tile_ow,
+            vector_lanes=config.vector_lanes,
+            unroll=unroll,
+            threads=threads,
+            vectorize=vectorize,
+        )
+
+    # -- strategies -------------------------------------------------------------
+    def _search_space(self, workload: ConvWorkload) -> list[KernelConfig]:
+        return enumerate_configs(
+            workload, self.machine.inference_threads, self.machine.simd_lanes
+        )
+
+    def _tune_exhaustive(self, workload: ConvWorkload) -> tuple[KernelConfig, float, list[float]]:
+        candidates = self._seed_candidates(workload) + self._search_space(workload)
+        history = []
+        best_config, best_seconds = None, float("inf")
+        for config in candidates:
+            seconds = execution_time_seconds(workload, config, self.machine)
+            history.append(seconds)
+            if seconds < best_seconds:
+                best_config, best_seconds = config, seconds
+        return best_config, best_seconds, history
+
+    def _tune_random(self, workload: ConvWorkload) -> tuple[KernelConfig, float, list[float]]:
+        rng = np.random.default_rng(self.seed)
+        space = self._search_space(workload)
+        picks = rng.choice(len(space), size=min(self.trials, len(space)), replace=False)
+        candidates = self._seed_candidates(workload) + [space[int(i)] for i in picks]
+        history = []
+        best_config, best_seconds = None, float("inf")
+        for config in candidates:
+            seconds = execution_time_seconds(workload, config, self.machine)
+            history.append(seconds)
+            if seconds < best_seconds:
+                best_config, best_seconds = config, seconds
+        return best_config, best_seconds, history
+
+    def _tune_evolutionary(self, workload: ConvWorkload) -> tuple[KernelConfig, float, list[float]]:
+        rng = np.random.default_rng(self.seed)
+        space = self._search_space(workload)
+        population_size = max(8, self.trials // 8)
+        picks = rng.choice(len(space), size=min(population_size, len(space)), replace=False)
+        population = self._seed_candidates(workload) + [space[int(i)] for i in picks]
+
+        history: list[float] = []
+        scored: list[tuple[float, KernelConfig]] = []
+        evaluated = set()
+
+        def evaluate(config: KernelConfig) -> None:
+            if config in evaluated:
+                return
+            evaluated.add(config)
+            seconds = execution_time_seconds(workload, config, self.machine)
+            history.append(seconds)
+            scored.append((seconds, config))
+
+        for config in population:
+            evaluate(config)
+        # Small workloads have a small legal space; bound the mutation attempts
+        # so the search terminates once the space is (effectively) exhausted.
+        max_attempts = self.trials * 4
+        attempts = 0
+        while len(history) < self.trials and attempts < max_attempts:
+            attempts += 1
+            scored.sort(key=lambda item: item[0])
+            parents = [config for _, config in scored[: max(4, population_size // 4)]]
+            parent = parents[int(rng.integers(0, len(parents)))]
+            evaluate(self._mutate(parent, workload, rng))
+
+        scored.sort(key=lambda item: item[0])
+        best_seconds, best_config = scored[0]
+        return best_config, best_seconds, history
+
+    # -- public API ---------------------------------------------------------------
+    def tune(self, workload: ConvWorkload) -> AutotuneResult:
+        """Tune one workload (cached by workload signature)."""
+        cached = self.cache.get(workload, self.machine)
+        if cached is not None:
+            return cached
+        if self.strategy == "exhaustive":
+            best_config, best_seconds, history = self._tune_exhaustive(workload)
+        elif self.strategy == "random":
+            best_config, best_seconds, history = self._tune_random(workload)
+        else:
+            best_config, best_seconds, history = self._tune_evolutionary(workload)
+        result = AutotuneResult(
+            workload=workload,
+            machine_name=self.machine.name,
+            best_config=best_config,
+            best_seconds=best_seconds,
+            trials=len(history),
+            history=tuple(history),
+        )
+        self.cache.put(result, self.machine)
+        return result
+
+    def tune_all(self, workloads: list[ConvWorkload]) -> dict[tuple, AutotuneResult]:
+        """Tune every distinct workload signature in ``workloads``."""
+        results = {}
+        for workload in workloads:
+            key = workload.signature()
+            if key not in results:
+                results[key] = self.tune(workload)
+        return results

@@ -1,0 +1,112 @@
+"""Convolution kernel configuration space.
+
+A :class:`KernelConfig` captures the scheduling decisions an autotuner (or a
+vendor library engineer) makes for a direct convolution on CPU: how the
+output is tiled across threads and registers, how wide the vectorized inner
+loop is, and how aggressively it is unrolled.  The performance model scores
+a (workload, config, machine) triple; the autotuner searches this space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.hwsim.workload import ConvWorkload
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One point in the convolution schedule space.
+
+    Attributes
+    ----------
+    tile_oc:
+        Output channels computed per register tile (also the channel block
+        of the packed weight layout).
+    tile_oh, tile_ow:
+        Spatial output tile computed per task.
+    vector_lanes:
+        Width of the vectorized innermost loop (in fp32 lanes).
+    unroll:
+        Unroll factor of the reduction loop.
+    threads:
+        Worker threads the kernel parallelizes over.
+    vectorize:
+        Which dimension the innermost SIMD loop runs over: ``"width"``
+        (plain NCHW direct convolution) or ``"channels"`` (NCHWc blocked
+        layout, as used by MKLDNN and TVM's x86 schedules).  Channel
+        vectorization keeps lanes full when the spatial extent is not a
+        multiple of the SIMD width, at the cost of a packed-layout
+        conversion.
+    """
+
+    tile_oc: int
+    tile_oh: int
+    tile_ow: int
+    vector_lanes: int
+    unroll: int
+    threads: int
+    vectorize: str = "width"
+
+    def __post_init__(self) -> None:
+        if min(self.tile_oc, self.tile_oh, self.tile_ow, self.vector_lanes,
+               self.unroll, self.threads) <= 0:
+            raise ValueError("all kernel config fields must be positive")
+        if self.vectorize not in ("width", "channels"):
+            raise ValueError("vectorize must be 'width' or 'channels'")
+
+
+#: Candidate values the tuner considers for each knob.
+TILE_OC_CANDIDATES = (4, 8, 16, 32, 64)
+TILE_OH_CANDIDATES = (1, 2, 4, 7, 8, 14)
+TILE_OW_CANDIDATES = (3, 4, 5, 6, 7, 8, 9, 14, 16, 28, 56)
+UNROLL_CANDIDATES = (1, 2, 4, 8)
+VECTORIZE_CANDIDATES = ("width", "channels")
+
+
+def default_config(workload: ConvWorkload, threads: int, vector_lanes: int) -> KernelConfig:
+    """A safe, unspecialized schedule (what a naive implementation would use)."""
+    return KernelConfig(
+        tile_oc=min(8, workload.out_channels),
+        tile_oh=1,
+        tile_ow=min(8, workload.out_width),
+        vector_lanes=vector_lanes,
+        unroll=1,
+        threads=threads,
+    )
+
+
+def enumerate_configs(
+    workload: ConvWorkload, threads: int, vector_lanes: int
+) -> list[KernelConfig]:
+    """Enumerate the legal configuration space for a workload.
+
+    Tiles larger than the workload's own extents are excluded (they would
+    only waste work), as are thread counts exceeding the machine's.
+    """
+    oc_limit = workload.out_channels
+    oh_limit = workload.out_height
+    ow_limit = workload.out_width
+
+    tile_ocs = [t for t in TILE_OC_CANDIDATES if t <= oc_limit] or [oc_limit]
+    tile_ohs = [t for t in TILE_OH_CANDIDATES if t <= oh_limit] or [oh_limit]
+    tile_ows = [t for t in TILE_OW_CANDIDATES if t <= ow_limit] or [ow_limit]
+    thread_options = sorted({1, max(1, threads // 2), threads})
+
+    configs = []
+    for tile_oc, tile_oh, tile_ow, unroll, num_threads, vectorize in product(
+        tile_ocs, tile_ohs, tile_ows, UNROLL_CANDIDATES, thread_options, VECTORIZE_CANDIDATES
+    ):
+        configs.append(
+            KernelConfig(
+                tile_oc=tile_oc,
+                tile_oh=tile_oh,
+                tile_ow=tile_ow,
+                vector_lanes=vector_lanes,
+                unroll=unroll,
+                threads=num_threads,
+                vectorize=vectorize,
+            )
+        )
+    return configs

@@ -1,0 +1,106 @@
+"""CPU machine models.
+
+A :class:`MachineModel` is the small set of architectural parameters the
+performance model needs: core count, SIMD width, FMA issue rate, clock,
+cache capacities and sustained memory bandwidth.  Presets approximate the
+two CPUs the paper measures (Intel Core i7-4790K and AMD Threadripper
+2990WX).  The paper runs inference with half the hardware threads (one per
+physical core), so ``inference_threads`` defaults to ``num_cores``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Analytical description of a CPU for the convolution performance model."""
+
+    name: str
+    num_cores: int
+    smt_per_core: int
+    clock_ghz: float
+    simd_lanes: int  # fp32 lanes per vector unit
+    fma_units_per_core: int  # FMA issues per cycle per core
+    l1_kb_per_core: int
+    l2_kb_per_core: int
+    l3_mb_total: float
+    dram_bandwidth_gbps: float  # sustained, GB/s
+    vector_efficiency: float = 0.85  # fraction of peak a perfect kernel can reach
+    numa_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0 or self.clock_ghz <= 0:
+            raise ValueError("machine must have positive cores and clock")
+        if self.simd_lanes not in (4, 8, 16):
+            raise ValueError("simd_lanes must be 4 (SSE), 8 (AVX2), or 16 (AVX-512)")
+
+    @property
+    def inference_threads(self) -> int:
+        """Thread count used for inference: one per physical core (paper §VII.a)."""
+        return self.num_cores
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical fp32 peak: cores x clock x lanes x 2 (FMA) x FMA units."""
+        return (
+            self.num_cores
+            * self.clock_ghz
+            * self.simd_lanes
+            * 2.0
+            * self.fma_units_per_core
+        )
+
+    @property
+    def l2_bytes_per_core(self) -> int:
+        return self.l2_kb_per_core * 1024
+
+    @property
+    def l3_bytes(self) -> int:
+        return int(self.l3_mb_total * 1024 * 1024)
+
+    @property
+    def dram_bytes_per_second(self) -> float:
+        return self.dram_bandwidth_gbps * 1e9
+
+
+INTEL_4790K = MachineModel(
+    name="4790K",
+    num_cores=4,
+    smt_per_core=2,
+    clock_ghz=4.2,
+    simd_lanes=8,  # AVX2
+    fma_units_per_core=2,
+    l1_kb_per_core=32,
+    l2_kb_per_core=256,
+    l3_mb_total=8.0,
+    dram_bandwidth_gbps=22.0,
+    vector_efficiency=0.80,
+)
+
+AMD_2990WX = MachineModel(
+    name="2990WX",
+    num_cores=32,
+    smt_per_core=2,
+    clock_ghz=3.4,
+    simd_lanes=8,  # AVX2
+    fma_units_per_core=1,  # Zen+ splits 256-bit FMA into two 128-bit ops
+    l1_kb_per_core=32,
+    l2_kb_per_core=512,
+    l3_mb_total=64.0,
+    dram_bandwidth_gbps=50.0,
+    vector_efficiency=0.70,
+    numa_nodes=4,  # half the dies have no local memory channel
+)
+
+_MACHINES = {machine.name: machine for machine in (INTEL_4790K, AMD_2990WX)}
+
+
+def get_machine(name: str) -> MachineModel:
+    """Look up a preset machine by name (``"4790K"`` or ``"2990WX"``)."""
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(_MACHINES))
+        raise KeyError(f"unknown machine {name!r}; known machines: {known}") from None

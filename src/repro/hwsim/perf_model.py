@@ -1,0 +1,231 @@
+"""Analytical convolution performance model.
+
+The model estimates the wall-clock execution time of one convolution
+workload under a given kernel schedule on a given machine.  It is a
+roofline-style model with the second-order effects that make *shape
+specialization* matter — exactly the effects the paper attributes the
+library-vs-tuned gap to (§VI, Fig 7):
+
+* **tile tail waste** — output extents that do not divide the schedule's
+  tile sizes compute padded, wasted lanes;
+* **vectorization efficiency** — an innermost loop narrower than (or not a
+  multiple of) the SIMD width wastes lanes;
+* **register blocking** — too large a register tile spills, too small a
+  tile stalls on FMA latency;
+* **thread load imbalance and fork/join overhead** — small feature maps
+  cannot fill a 32-core part, and every layer pays a per-launch barrier;
+* **cache blocking / memory traffic** — weights or activations that do not
+  fit on-chip are re-streamed from DRAM, bounding throughput by bandwidth.
+
+The model is deterministic, differentiable in no sense, and intentionally
+simple; what matters is that the *relative* ordering of schedules for a
+given shape mirrors reality closely enough that autotuning over it
+reproduces the paper's qualitative results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hwsim.kernels import KernelConfig
+from repro.hwsim.machine import MachineModel
+from repro.hwsim.workload import ConvWorkload
+
+#: Scheduling overhead charged per task (loop/task dispatch), in seconds.
+PER_TASK_OVERHEAD_S = 60e-9
+#: Fork/join barrier cost per participating thread, in seconds.
+PER_THREAD_BARRIER_S = 1.5e-6
+#: Fixed per-layer framework overhead (tensor setup, dispatch), in seconds.
+PER_LAYER_OVERHEAD_S = 8e-6
+#: Architectural number of named vector registers available for accumulators.
+ACCUMULATOR_REGISTERS = 12
+#: Efficiency of the reduction loop for each unroll factor.
+UNROLL_EFFICIENCY = {1: 0.82, 2: 0.90, 4: 1.00, 8: 0.96}
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _tail_waste(extent: int, tile: int) -> float:
+    """Ratio of padded work to useful work along one tiled dimension (>= 1)."""
+    tiles = _ceil_div(extent, tile)
+    return (tiles * tile) / extent
+
+
+@dataclass(frozen=True)
+class PerfBreakdown:
+    """Component times (seconds) produced by :func:`execution_breakdown`."""
+
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds) + self.overhead_seconds
+
+
+def workload_bytes(workload: ConvWorkload) -> tuple[int, int, int]:
+    """(input, weight, output) footprint in bytes for fp32 tensors."""
+    input_bytes = workload.batch * workload.in_channels * workload.in_height * workload.in_width * 4
+    weight_bytes = (
+        workload.out_channels
+        * (workload.in_channels // workload.groups)
+        * workload.kernel_size
+        * workload.kernel_size
+        * 4
+    )
+    output_bytes = (
+        workload.batch * workload.out_channels * workload.out_height * workload.out_width * 4
+    )
+    return input_bytes, weight_bytes, output_bytes
+
+
+#: Throughput factor charged for maintaining the packed NCHWc layout
+#: (layout conversions at kernel boundaries, strided output stores).
+_CHANNEL_PACKING_FACTOR = 0.95
+
+
+def _vector_efficiency(config: KernelConfig, machine: MachineModel) -> float:
+    """Fraction of SIMD lanes doing useful work in the innermost loop."""
+    lanes = machine.simd_lanes
+    if config.vectorize == "channels":
+        # NCHWc: lanes run over the channel block; efficiency depends on how
+        # well the channel tile fills whole vectors.
+        vectors_needed = _ceil_div(config.tile_oc, lanes)
+        return (config.tile_oc / (vectors_needed * lanes)) * _CHANNEL_PACKING_FACTOR
+    effective = min(config.vector_lanes, lanes)
+    vectors_needed = _ceil_div(config.tile_ow, effective)
+    return config.tile_ow / (vectors_needed * lanes)
+
+
+def _register_efficiency(config: KernelConfig, machine: MachineModel) -> float:
+    """Penalty for register tiles that spill or that underfill the FMA pipeline."""
+    if config.vectorize == "channels":
+        # Accumulators: one vector per channel-block slice per output column.
+        accumulators = _ceil_div(config.tile_oc, machine.simd_lanes) * config.tile_ow
+    else:
+        accumulators = config.tile_oc * _ceil_div(config.tile_ow, machine.simd_lanes)
+    if accumulators > ACCUMULATOR_REGISTERS:
+        return ACCUMULATOR_REGISTERS / accumulators
+    if accumulators < 4:
+        # Not enough independent accumulators to hide FMA latency.
+        return 0.55 + 0.1125 * accumulators
+    return 1.0
+
+
+def _unroll_efficiency(config: KernelConfig) -> float:
+    return UNROLL_EFFICIENCY.get(config.unroll, 0.85)
+
+
+def _thread_utilization(workload: ConvWorkload, config: KernelConfig) -> float:
+    """Load balance of the parallel (batch, channel-block, row-block) loop."""
+    parallel_tasks = (
+        workload.batch
+        * _ceil_div(workload.out_channels, config.tile_oc)
+        * _ceil_div(workload.out_height, config.tile_oh)
+    )
+    rounds = _ceil_div(parallel_tasks, config.threads)
+    return parallel_tasks / (rounds * config.threads)
+
+
+def _memory_seconds(
+    workload: ConvWorkload, config: KernelConfig, machine: MachineModel
+) -> float:
+    """DRAM traffic / bandwidth, including re-streaming when blocking misses cache."""
+    input_bytes, weight_bytes, output_bytes = workload_bytes(workload)
+    l2_total = machine.l2_bytes_per_core * min(config.threads, machine.num_cores)
+    on_chip = l2_total + machine.l3_bytes
+
+    # Input is re-read once per output-channel block unless it stays on chip.
+    oc_blocks = _ceil_div(workload.out_channels, config.tile_oc)
+    input_reuse = 1 if input_bytes <= on_chip else min(oc_blocks, 4)
+    # Weights are re-read once per spatial block unless they stay on chip.
+    spatial_blocks = _ceil_div(workload.out_height, config.tile_oh)
+    weight_reuse = 1 if weight_bytes <= on_chip else min(spatial_blocks, 4)
+
+    traffic = input_bytes * input_reuse + weight_bytes * weight_reuse + output_bytes
+    bandwidth = machine.dram_bytes_per_second
+    if machine.numa_nodes > 1 and config.threads > machine.num_cores // machine.numa_nodes:
+        # Threads on memory-less dies pay cross-die latency; model as reduced
+        # sustained bandwidth (the 2990WX's well-known handicap).
+        bandwidth *= 0.75
+    return traffic / bandwidth
+
+
+def execution_breakdown(
+    workload: ConvWorkload, config: KernelConfig, machine: MachineModel
+) -> PerfBreakdown:
+    """Estimate the execution-time components of a workload under a schedule."""
+    threads = min(config.threads, machine.num_cores * machine.smt_per_core)
+
+    # Padded compute: tail waste along each tiled dimension.
+    waste = (
+        _tail_waste(workload.out_channels, config.tile_oc)
+        * _tail_waste(workload.out_height, config.tile_oh)
+        * _tail_waste(workload.out_width, config.tile_ow)
+    )
+    padded_flops = workload.flops * waste
+
+    # Depthwise convolutions have almost no reduction to vectorize over and
+    # are effectively bandwidth-bound; reflect their lower compute efficiency.
+    depthwise_penalty = 0.45 if workload.is_depthwise else 1.0
+
+    kernel_efficiency = (
+        _vector_efficiency(config, machine)
+        * _register_efficiency(config, machine)
+        * _unroll_efficiency(config)
+        * machine.vector_efficiency
+        * depthwise_penalty
+    )
+    per_core_gflops = (
+        machine.clock_ghz * machine.simd_lanes * 2.0 * machine.fma_units_per_core
+    )
+    # SMT threads beyond the physical core count add little for FMA-bound code.
+    effective_cores = min(threads, machine.num_cores) + 0.15 * max(
+        0, threads - machine.num_cores
+    )
+    peak_flops = per_core_gflops * 1e9 * effective_cores
+
+    thread_util = _thread_utilization(workload, config)
+    compute_seconds = padded_flops / (peak_flops * kernel_efficiency * thread_util)
+
+    memory_seconds = _memory_seconds(workload, config, machine)
+
+    tasks = (
+        workload.batch
+        * _ceil_div(workload.out_channels, config.tile_oc)
+        * _ceil_div(workload.out_height, config.tile_oh)
+        * _ceil_div(workload.out_width, config.tile_ow)
+    )
+    overhead_seconds = (
+        PER_LAYER_OVERHEAD_S
+        + threads * PER_THREAD_BARRIER_S
+        + (tasks / threads) * PER_TASK_OVERHEAD_S
+    )
+    return PerfBreakdown(compute_seconds, memory_seconds, overhead_seconds)
+
+
+def execution_time_seconds(
+    workload: ConvWorkload, config: KernelConfig, machine: MachineModel
+) -> float:
+    """Estimated wall-clock seconds for one invocation of the workload."""
+    return execution_breakdown(workload, config, machine).total_seconds
+
+
+def achieved_gflops(
+    workload: ConvWorkload, config: KernelConfig, machine: MachineModel
+) -> float:
+    """Achieved (useful) GFLOP/s under the schedule — the Fig 7 metric."""
+    seconds = execution_time_seconds(workload, config, machine)
+    return workload.flops / seconds / 1e9
+
+
+def roofline_bound_gflops(workload: ConvWorkload, machine: MachineModel) -> float:
+    """Upper bound on achievable GFLOP/s from peak compute and DRAM bandwidth."""
+    input_bytes, weight_bytes, output_bytes = workload_bytes(workload)
+    min_traffic = input_bytes + weight_bytes + output_bytes
+    intensity = workload.flops / min_traffic
+    return min(machine.peak_gflops, intensity * machine.dram_bandwidth_gbps)

@@ -1,0 +1,106 @@
+"""Convolution workload descriptions.
+
+A :class:`ConvWorkload` is the shape tuple the autotuner and performance
+model operate on — exactly what changes when the inference resolution
+changes.  :func:`model_conv_workloads` extracts the list of convolution
+workloads of a model at a given resolution from the FLOP tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.flops import trace_model
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class ConvWorkload:
+    """Shape description of one convolution layer invocation."""
+
+    batch: int
+    in_channels: int
+    out_channels: int
+    in_height: int
+    in_width: int
+    kernel_size: int
+    stride: int
+    padding: int
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.in_channels, self.out_channels, self.kernel_size) <= 0:
+            raise ValueError("workload dimensions must be positive")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError("channels must be divisible by groups")
+
+    @property
+    def out_height(self) -> int:
+        return (self.in_height + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def macs(self) -> int:
+        kernel_ops = self.kernel_size * self.kernel_size * (self.in_channels // self.groups)
+        return self.batch * self.out_channels * self.out_height * self.out_width * kernel_ops
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    @property
+    def is_depthwise(self) -> bool:
+        return self.groups == self.in_channels and self.groups == self.out_channels
+
+    def signature(self) -> tuple:
+        """Hashable identity used as a tuning-cache key."""
+        return (
+            self.batch,
+            self.in_channels,
+            self.out_channels,
+            self.in_height,
+            self.in_width,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            self.groups,
+        )
+
+
+def model_conv_workloads(
+    model: Module, resolution: int, batch_size: int = 1
+) -> list[tuple[str, ConvWorkload]]:
+    """List ``(layer_name, workload)`` for every convolution in ``model``.
+
+    The list preserves layer order and includes duplicates (a ResNet stage
+    repeats the same shape several times); callers that tune kernels should
+    deduplicate by :meth:`ConvWorkload.signature`.
+    """
+    records = trace_model(model, (batch_size, 3, resolution, resolution))
+    workloads = []
+    for record in records:
+        if record.layer_type != "Conv2d":
+            continue
+        detail = record.detail_dict
+        _, in_c, in_h, in_w = record.input_shape
+        _, out_c, _, _ = record.output_shape
+        workloads.append(
+            (
+                record.name,
+                ConvWorkload(
+                    batch=record.input_shape[0],
+                    in_channels=in_c,
+                    out_channels=out_c,
+                    in_height=in_h,
+                    in_width=in_w,
+                    kernel_size=detail["kernel_size"],
+                    stride=detail["stride"],
+                    padding=detail["padding"],
+                    groups=detail["groups"],
+                ),
+            )
+        )
+    return workloads

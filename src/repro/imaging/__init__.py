@@ -1,0 +1,37 @@
+"""Image processing substrate.
+
+Stands in for Pillow/OpenCV in the reproduction: geometric transforms
+(resize, crop), color-space conversion, full-reference quality metrics
+(PSNR and SSIM), and procedural scene synthesis used to build the
+ImageNet-like and Cars-like datasets.
+
+Images are ``float64`` arrays in ``[0, 1]`` with shape ``(H, W, 3)`` (HWC)
+for the imaging/storage path and are converted to CHW tensors only at the
+model boundary (:func:`repro.imaging.transforms.to_model_input`).
+"""
+
+from repro.imaging.color import rgb_to_ycbcr, ycbcr_to_rgb, rgb_to_grayscale
+from repro.imaging.crop import center_crop, center_crop_ratio, crop, random_crop
+from repro.imaging.metrics import mse, psnr, ssim
+from repro.imaging.resize import resize, resize_shortest_side
+from repro.imaging.synthetic import SceneSpec, render_scene
+from repro.imaging.transforms import InferencePreprocessor, to_model_input
+
+__all__ = [
+    "resize",
+    "resize_shortest_side",
+    "crop",
+    "center_crop",
+    "center_crop_ratio",
+    "random_crop",
+    "rgb_to_ycbcr",
+    "ycbcr_to_rgb",
+    "rgb_to_grayscale",
+    "mse",
+    "psnr",
+    "ssim",
+    "SceneSpec",
+    "render_scene",
+    "InferencePreprocessor",
+    "to_model_input",
+]

@@ -1,0 +1,47 @@
+"""Color-space conversions (RGB <-> YCbCr, grayscale).
+
+The progressive codec (like JPEG) operates on YCbCr with the chroma planes
+carrying less perceptually important information; the ITU-R BT.601 full
+range transform used by JFIF is implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RGB_TO_YCBCR = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ]
+)
+_YCBCR_OFFSET = np.array([0.0, 0.5, 0.5])
+_YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
+
+
+def rgb_to_ycbcr(image: np.ndarray) -> np.ndarray:
+    """Convert an HWC RGB image in [0, 1] to YCbCr (Y in [0,1], Cb/Cr in [0,1])."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected HWC RGB image, got shape {image.shape}")
+    return image @ _RGB_TO_YCBCR.T + _YCBCR_OFFSET
+
+
+def ycbcr_to_rgb(image: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_ycbcr`; output is clipped to [0, 1]."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected HWC YCbCr image, got shape {image.shape}")
+    rgb = (image - _YCBCR_OFFSET) @ _YCBCR_TO_RGB.T
+    return np.clip(rgb, 0.0, 1.0)
+
+
+def rgb_to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Luma (Y) channel of an RGB image."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        return image.copy()
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected HWC RGB image, got shape {image.shape}")
+    return image @ _RGB_TO_YCBCR[0]

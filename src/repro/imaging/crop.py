@@ -1,0 +1,69 @@
+"""Cropping transforms.
+
+The paper's accuracy/FLOPs study sweeps *center-crop area ratios* of 25%,
+56%, 75% and 100% (Figs 3, 8, 9).  Crop area controls the apparent object
+scale seen by the model: a smaller crop magnifies the object, and the
+favoured inference resolution shifts accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def crop(image: np.ndarray, top: int, left: int, height: int, width: int) -> np.ndarray:
+    """Crop a ``height x width`` window whose top-left corner is ``(top, left)``."""
+    h, w = image.shape[:2]
+    if height <= 0 or width <= 0:
+        raise ValueError("crop size must be positive")
+    if top < 0 or left < 0 or top + height > h or left + width > w:
+        raise ValueError(
+            f"crop window ({top},{left},{height},{width}) exceeds image of size ({h},{w})"
+        )
+    return image[top : top + height, left : left + width].copy()
+
+
+def center_crop(image: np.ndarray, size: tuple[int, int] | int) -> np.ndarray:
+    """Crop a centered window of ``size`` = ``(height, width)``."""
+    if isinstance(size, int):
+        size = (size, size)
+    crop_h, crop_w = size
+    h, w = image.shape[:2]
+    crop_h, crop_w = min(crop_h, h), min(crop_w, w)
+    top = (h - crop_h) // 2
+    left = (w - crop_w) // 2
+    return crop(image, top, left, crop_h, crop_w)
+
+
+def center_crop_ratio(image: np.ndarray, area_ratio: float) -> np.ndarray:
+    """Crop a centered window covering ``area_ratio`` of the image area.
+
+    ``area_ratio=0.75`` corresponds to the common 224-from-256 evaluation
+    crop (the paper notes the true area of that practice is ~77%);
+    ``area_ratio=1.0`` keeps the whole image.
+    """
+    if not 0.0 < area_ratio <= 1.0:
+        raise ValueError("area_ratio must be in (0, 1]")
+    h, w = image.shape[:2]
+    side_scale = math.sqrt(area_ratio)
+    crop_h = max(1, round(h * side_scale))
+    crop_w = max(1, round(w * side_scale))
+    return center_crop(image, (crop_h, crop_w))
+
+
+def random_crop(
+    image: np.ndarray,
+    size: tuple[int, int] | int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Crop a random window of ``size`` (the training-time augmentation)."""
+    if isinstance(size, int):
+        size = (size, size)
+    crop_h, crop_w = size
+    h, w = image.shape[:2]
+    crop_h, crop_w = min(crop_h, h), min(crop_w, w)
+    top = int(rng.integers(0, h - crop_h + 1))
+    left = int(rng.integers(0, w - crop_w + 1))
+    return crop(image, top, left, crop_h, crop_w)

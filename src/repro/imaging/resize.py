@@ -1,0 +1,129 @@
+"""Image resampling (nearest, bilinear, bicubic).
+
+Resizing is the mechanism that maps a stored image to an *inference
+resolution* (Fig 1 of the paper).  The implementation is separable (rows
+then columns) and supports arbitrary scale factors in both directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _nearest_indices(out_size: int, in_size: int) -> np.ndarray:
+    scale = in_size / out_size
+    coords = (np.arange(out_size) + 0.5) * scale - 0.5
+    return np.clip(np.round(coords).astype(np.int64), 0, in_size - 1)
+
+
+def _linear_weights(out_size: int, in_size: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (low index, high index, high weight) for linear interpolation."""
+    scale = in_size / out_size
+    coords = (np.arange(out_size) + 0.5) * scale - 0.5
+    coords = np.clip(coords, 0.0, in_size - 1)
+    low = np.floor(coords).astype(np.int64)
+    high = np.minimum(low + 1, in_size - 1)
+    weight = coords - low
+    return low, high, weight
+
+
+def _cubic_kernel(x: np.ndarray, a: float = -0.5) -> np.ndarray:
+    """Catmull-Rom style cubic convolution kernel (the common a=-0.5 variant)."""
+    absx = np.abs(x)
+    absx2 = absx * absx
+    absx3 = absx2 * absx
+    result = np.zeros_like(absx)
+    inner = absx <= 1.0
+    outer = (absx > 1.0) & (absx < 2.0)
+    result[inner] = (a + 2) * absx3[inner] - (a + 3) * absx2[inner] + 1
+    result[outer] = a * absx3[outer] - 5 * a * absx2[outer] + 8 * a * absx[outer] - 4 * a
+    return result
+
+
+def _resize_axis_linear(image: np.ndarray, out_size: int, axis: int) -> np.ndarray:
+    in_size = image.shape[axis]
+    low, high, weight = _linear_weights(out_size, in_size)
+    lower = np.take(image, low, axis=axis)
+    upper = np.take(image, high, axis=axis)
+    shape = [1] * image.ndim
+    shape[axis] = out_size
+    weight = weight.reshape(shape)
+    return lower * (1.0 - weight) + upper * weight
+
+
+def _resize_axis_cubic(image: np.ndarray, out_size: int, axis: int) -> np.ndarray:
+    in_size = image.shape[axis]
+    scale = in_size / out_size
+    coords = (np.arange(out_size) + 0.5) * scale - 0.5
+    base = np.floor(coords).astype(np.int64)
+    frac = coords - base
+
+    result = np.zeros(
+        tuple(out_size if d == axis else s for d, s in enumerate(image.shape)),
+        dtype=np.float64,
+    )
+    weight_sum = np.zeros(out_size, dtype=np.float64)
+    for offset in (-1, 0, 1, 2):
+        idx = np.clip(base + offset, 0, in_size - 1)
+        w = _cubic_kernel(frac - offset)
+        weight_sum += w
+        shape = [1] * image.ndim
+        shape[axis] = out_size
+        result += np.take(image, idx, axis=axis) * w.reshape(shape)
+    shape = [1] * image.ndim
+    shape[axis] = out_size
+    return result / weight_sum.reshape(shape)
+
+
+def resize(
+    image: np.ndarray,
+    size: tuple[int, int] | int,
+    method: str = "bilinear",
+) -> np.ndarray:
+    """Resize an HWC (or HW) image to ``size`` = ``(height, width)``.
+
+    ``method`` is one of ``"nearest"``, ``"bilinear"``, ``"bicubic"``.
+    Bicubic output is clipped to the input range to avoid ringing overshoot.
+    """
+    if isinstance(size, int):
+        size = (size, size)
+    out_h, out_w = size
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("target size must be positive")
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim not in (2, 3):
+        raise ValueError(f"expected HW or HWC image, got shape {image.shape}")
+    if image.shape[0] == out_h and image.shape[1] == out_w:
+        return image.copy()
+
+    if method == "nearest":
+        rows = _nearest_indices(out_h, image.shape[0])
+        cols = _nearest_indices(out_w, image.shape[1])
+        return image[np.ix_(rows, cols)] if image.ndim == 2 else image[rows][:, cols]
+    if method == "bilinear":
+        out = _resize_axis_linear(image, out_h, axis=0)
+        return _resize_axis_linear(out, out_w, axis=1)
+    if method == "bicubic":
+        lo, hi = float(image.min()), float(image.max())
+        out = _resize_axis_cubic(image, out_h, axis=0)
+        out = _resize_axis_cubic(out, out_w, axis=1)
+        return np.clip(out, lo, hi)
+    raise ValueError(f"unknown resize method {method!r}")
+
+
+def resize_shortest_side(
+    image: np.ndarray, target: int, method: str = "bilinear"
+) -> np.ndarray:
+    """Resize so the shorter spatial side equals ``target``, preserving aspect ratio.
+
+    This mirrors the standard evaluation transform: resize the shorter side
+    to ``resolution * 256/224`` then take a center crop.
+    """
+    h, w = image.shape[:2]
+    if h <= w:
+        out_h = target
+        out_w = max(1, round(w * target / h))
+    else:
+        out_w = target
+        out_h = max(1, round(h * target / w))
+    return resize(image, (out_h, out_w), method=method)

@@ -1,0 +1,179 @@
+"""Procedural scene synthesis.
+
+The paper evaluates on ImageNet and Stanford Cars; neither is available in
+this offline environment, so the datasets are *simulated* with procedurally
+generated scenes whose two key knobs are exactly the properties the paper's
+characterization depends on:
+
+* **object scale** — each scene contains one foreground object occupying a
+  controllable fraction of the frame, so crop-ratio / resolution / scale
+  interactions are exercised faithfully;
+* **feature granularity** — the class identity is carried by a mixture of
+  coarse shape and fine texture whose relative weight is configurable, which
+  is what makes one dataset ("Cars-like", shape-dominant) tolerate low
+  image fidelity better than another ("ImageNet-like", texture-dominant), as
+  observed in Fig 6.
+
+Scenes are rendered at arbitrary resolution from a continuous description
+(:class:`SceneSpec`), so the same scene can be materialized at the native
+"storage" resolution and at any inference resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Object silhouettes available to the generator. Class identity selects a
+#: deterministic combination of silhouette, texture frequency and palette.
+_SHAPES = ("disk", "square", "triangle", "ring", "cross", "diamond")
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """Continuous description of a single synthetic scene.
+
+    Attributes
+    ----------
+    class_id:
+        Ground-truth label.
+    object_scale:
+        Fraction of the (square) frame's side occupied by the object.
+    center_x, center_y:
+        Object center in normalized [0, 1] image coordinates.
+    texture_phase:
+        Random phase for the class texture, for intra-class variation.
+    background_seed:
+        Seed controlling background clutter.
+    texture_weight:
+        How much of the class evidence is carried by fine texture (0..1);
+        the remainder is carried by the coarse silhouette and palette.
+    noise_level:
+        Additive sensor-noise amplitude.
+    """
+
+    class_id: int
+    object_scale: float
+    center_x: float = 0.5
+    center_y: float = 0.5
+    texture_phase: float = 0.0
+    background_seed: int = 0
+    texture_weight: float = 0.5
+    noise_level: float = 0.02
+    num_classes: int = field(default=10)
+
+    def __post_init__(self) -> None:
+        if not 0.05 <= self.object_scale <= 1.5:
+            raise ValueError("object_scale must be within [0.05, 1.5]")
+        if not 0 <= self.class_id < self.num_classes:
+            raise ValueError("class_id out of range")
+
+
+def _class_attributes(class_id: int, num_classes: int) -> dict:
+    """Deterministic per-class visual attributes."""
+    rng = np.random.default_rng(10_000 + class_id)
+    return {
+        "shape": _SHAPES[class_id % len(_SHAPES)],
+        "palette": rng.uniform(0.25, 0.95, size=3),
+        "texture_freq": 4.0 + 3.0 * (class_id % 7) + rng.uniform(0.0, 2.0),
+        "texture_angle": float(rng.uniform(0.0, np.pi)),
+        "secondary_freq": 9.0 + 2.5 * ((class_id * 3) % 5),
+    }
+
+
+def _silhouette(shape: str, xx: np.ndarray, yy: np.ndarray, radius: float) -> np.ndarray:
+    """Soft-edged object mask on the normalized coordinate grid."""
+    r = np.sqrt(xx**2 + yy**2)
+    if shape == "disk":
+        dist = r - radius
+    elif shape == "square":
+        dist = np.maximum(np.abs(xx), np.abs(yy)) - radius
+    elif shape == "diamond":
+        dist = (np.abs(xx) + np.abs(yy)) - radius
+    elif shape == "ring":
+        dist = np.abs(r - radius) - 0.35 * radius
+    elif shape == "triangle":
+        # Equilateral-ish triangle via three half-plane constraints.
+        d1 = yy - radius
+        d2 = -0.9 * xx - 0.5 * yy - radius * 0.45
+        d3 = 0.9 * xx - 0.5 * yy - radius * 0.45
+        dist = np.maximum(np.maximum(d1, d2), d3)
+    elif shape == "cross":
+        bar = 0.35 * radius
+        horizontal = np.maximum(np.abs(xx) - radius, np.abs(yy) - bar)
+        vertical = np.maximum(np.abs(yy) - radius, np.abs(xx) - bar)
+        dist = np.minimum(horizontal, vertical)
+    else:  # pragma: no cover - guarded by _SHAPES
+        raise ValueError(f"unknown shape {shape!r}")
+    edge = 0.02 + 0.05 * radius
+    return np.clip(0.5 - dist / edge, 0.0, 1.0)
+
+
+def _background(resolution: int, seed: int) -> np.ndarray:
+    """Smooth low-frequency clutter plus a faint horizon gradient."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.meshgrid(
+        np.linspace(0.0, 1.0, resolution), np.linspace(0.0, 1.0, resolution), indexing="ij"
+    )
+    base = 0.35 + 0.25 * yy
+    clutter = np.zeros((resolution, resolution))
+    for _ in range(4):
+        fx, fy = rng.uniform(1.0, 5.0, size=2)
+        phase_x, phase_y = rng.uniform(0.0, 2 * np.pi, size=2)
+        clutter += rng.uniform(0.02, 0.08) * np.sin(
+            2 * np.pi * (fx * xx + phase_x)
+        ) * np.cos(2 * np.pi * (fy * yy + phase_y))
+    tint = rng.uniform(0.85, 1.15, size=3)
+    background = np.stack([(base + clutter) * t for t in tint], axis=-1)
+    return np.clip(background, 0.0, 1.0)
+
+
+def render_scene(spec: SceneSpec, resolution: int) -> np.ndarray:
+    """Render ``spec`` as an HWC RGB image in [0, 1] at ``resolution`` pixels.
+
+    The renderer is resolution-continuous: rendering the same spec at a
+    higher resolution reveals more of the fine class texture, which is how
+    the generator reproduces the paper's "more resolution -> more detail"
+    axis without real photographs.
+    """
+    if resolution < 8:
+        raise ValueError("resolution must be at least 8")
+    attrs = _class_attributes(spec.class_id, spec.num_classes)
+
+    yy, xx = np.meshgrid(
+        np.linspace(0.0, 1.0, resolution), np.linspace(0.0, 1.0, resolution), indexing="ij"
+    )
+    # Object-centric coordinates.
+    ox = xx - spec.center_x
+    oy = yy - spec.center_y
+    radius = spec.object_scale / 2.0
+    mask = _silhouette(attrs["shape"], ox, oy, radius)
+
+    # Class texture: an oriented sinusoidal grating plus a second harmonic,
+    # expressed in *object* coordinates so it scales with the object.
+    angle = attrs["texture_angle"]
+    u = (ox * np.cos(angle) + oy * np.sin(angle)) / max(radius, 1e-6)
+    v = (-ox * np.sin(angle) + oy * np.cos(angle)) / max(radius, 1e-6)
+    texture = 0.5 + 0.5 * np.sin(
+        2 * np.pi * attrs["texture_freq"] * u + spec.texture_phase
+    ) * np.cos(2 * np.pi * attrs["secondary_freq"] * v + 0.7 * spec.texture_phase)
+
+    palette = attrs["palette"]
+    flat_color = np.stack([np.full_like(mask, c) for c in palette], axis=-1)
+    textured_color = np.stack(
+        [
+            np.clip(c * (0.55 + 0.9 * spec.texture_weight * (texture - 0.5)), 0.0, 1.0)
+            for c in palette
+        ],
+        axis=-1,
+    )
+    object_color = (1.0 - spec.texture_weight) * flat_color + spec.texture_weight * textured_color
+
+    image = _background(resolution, spec.background_seed)
+    image = image * (1.0 - mask[..., None]) + object_color * mask[..., None]
+
+    if spec.noise_level > 0:
+        rng = np.random.default_rng(spec.background_seed * 7919 + spec.class_id)
+        image = image + rng.normal(0.0, spec.noise_level, size=image.shape)
+    return np.clip(image, 0.0, 1.0)

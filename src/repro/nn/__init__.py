@@ -1,0 +1,75 @@
+"""Numpy neural-network substrate.
+
+This subpackage is a small, self-contained CNN framework (forward and
+backward passes implemented with numpy) that stands in for PyTorch in the
+reproduction.  It provides:
+
+* layer primitives (:mod:`repro.nn.layers`) — convolution, batch
+  normalization, pooling, linear, activations, dropout;
+* container modules (:class:`~repro.nn.module.Sequential`) and a common
+  :class:`~repro.nn.module.Module` base class;
+* the architectures the paper evaluates — ResNet-18/50
+  (:mod:`repro.nn.resnet`) and MobileNetV2 (:mod:`repro.nn.mobilenet`);
+* losses (:mod:`repro.nn.losses`), optimizers (:mod:`repro.nn.optim`) and
+  weight initializers (:mod:`repro.nn.initializers`);
+* an exact per-layer FLOP counter (:mod:`repro.nn.flops`) used throughout
+  the evaluation harness.
+
+All tensors use the NCHW layout and ``float64``/``float32`` numpy arrays.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers.activations import LeakyReLU, ReLU, ReLU6, Sigmoid
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.losses import (
+    BinaryCrossEntropyLoss,
+    CrossEntropyLoss,
+    sigmoid,
+    softmax,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet50, resnet_tiny
+from repro.nn.mobilenet import InvertedResidual, MobileNetV2, mobilenet_v2, mobilenet_tiny
+from repro.nn.flops import count_model_flops, count_model_gflops, LayerFlops
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "Sigmoid",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "CrossEntropyLoss",
+    "BinaryCrossEntropyLoss",
+    "softmax",
+    "sigmoid",
+    "SGD",
+    "Adam",
+    "ResNet",
+    "BasicBlock",
+    "Bottleneck",
+    "resnet18",
+    "resnet50",
+    "resnet_tiny",
+    "MobileNetV2",
+    "InvertedResidual",
+    "mobilenet_v2",
+    "mobilenet_tiny",
+    "count_model_flops",
+    "count_model_gflops",
+    "LayerFlops",
+]

@@ -1,0 +1,78 @@
+"""Weight initialization schemes.
+
+The schemes mirror the defaults used by the reference PyTorch models the
+paper evaluates: Kaiming (He) initialization for convolutions followed by
+ReLU, and uniform fan-in initialization for linear layers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def _fan_in_and_fan_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor shape.
+
+    Convolution weights are ``(out_channels, in_channels, kh, kw)``; linear
+    weights are ``(out_features, in_features)``.
+    """
+    if len(shape) < 2:
+        raise ValueError(f"fan in/out undefined for shape {shape!r}")
+    receptive_field = 1
+    for dim in shape[2:]:
+        receptive_field *= dim
+    fan_in = shape[1] * receptive_field
+    fan_out = shape[0] * receptive_field
+    return fan_in, fan_out
+
+
+def kaiming_normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    nonlinearity: str = "relu",
+    mode: str = "fan_in",
+) -> np.ndarray:
+    """He-normal initialization (Kaiming et al., 2015)."""
+    fan_in, fan_out = _fan_in_and_fan_out(shape)
+    fan = fan_in if mode == "fan_in" else fan_out
+    if nonlinearity == "relu":
+        gain = math.sqrt(2.0)
+    elif nonlinearity == "linear":
+        gain = 1.0
+    else:
+        raise ValueError(f"unsupported nonlinearity {nonlinearity!r}")
+    std = gain / math.sqrt(fan)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    a: float = math.sqrt(5.0),
+) -> np.ndarray:
+    """He-uniform initialization with leaky-relu gain (PyTorch linear default)."""
+    fan_in, _ = _fan_in_and_fan_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_fan_in_bias(
+    weight_shape: tuple[int, ...], bias_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Bias initialization matching PyTorch's ``U(-1/sqrt(fan_in), 1/sqrt(fan_in))``."""
+    fan_in, _ = _fan_in_and_fan_out(weight_shape)
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=(bias_size,))
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (biases, batch-norm shift)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-ones initialization (batch-norm scale)."""
+    return np.ones(shape, dtype=np.float64)

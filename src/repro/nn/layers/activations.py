@@ -1,0 +1,81 @@
+"""Element-wise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6 (used by MobileNetV2)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = (x > 0) & (x < 6.0)
+        return np.clip(x, 0.0, 6.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class LeakyReLU(Module):
+    """Leaky rectified linear unit."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * np.where(self._mask, 1.0, self.negative_slope)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._out * (1.0 - self._out)

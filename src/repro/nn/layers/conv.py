@@ -1,0 +1,137 @@
+"""2-D convolution (including depthwise / grouped convolution)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module, Parameter
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW tensors via im2col lowering.
+
+    Supports grouped convolution (``groups > 1``), which MobileNetV2's
+    depthwise convolutions require (``groups == in_channels``).
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.  Both must be divisible by ``groups``.
+    kernel_size:
+        Square kernel size.
+    stride, padding:
+        Spatial stride and symmetric zero padding.
+    bias:
+        Whether to add a learned per-output-channel bias.  The reference
+        architectures use ``bias=False`` before batch normalization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in_channels and out_channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.has_bias = bias
+
+        rng = rng or np.random.default_rng(0)
+        weight_shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(initializers.kaiming_normal(weight_shape, rng))
+        if bias:
+            self.bias = Parameter(initializers.zeros((out_channels,)))
+        self._cache: tuple | None = None
+
+    # -- shape inference ----------------------------------------------------
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        n, c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {c}"
+            )
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (n, self.out_channels, out_h, out_w)
+
+    # -- forward ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_n, out_c, out_h, out_w = self.output_shape(x.shape)
+        k = self.kernel_size
+        group_in = self.in_channels // self.groups
+        group_out = self.out_channels // self.groups
+
+        out = np.empty((n, self.out_channels, out_h, out_w), dtype=np.float64)
+        cols_per_group: list[np.ndarray] = []
+        for g in range(self.groups):
+            x_g = x[:, g * group_in : (g + 1) * group_in]
+            cols = im2col(x_g, k, k, self.stride, self.padding)
+            cols_per_group.append(cols)
+            w_g = self.weight.value[g * group_out : (g + 1) * group_out]
+            w_mat = w_g.reshape(group_out, group_in * k * k)
+            # (N, group_out, out_h*out_w)
+            out_g = np.einsum("oc,ncl->nol", w_mat, cols, optimize=True)
+            out[:, g * group_out : (g + 1) * group_out] = out_g.reshape(
+                n, group_out, out_h, out_w
+            )
+        if self.has_bias:
+            out += self.bias.value.reshape(1, -1, 1, 1)
+        self._cache = (x.shape, cols_per_group)
+        return out
+
+    # -- backward -----------------------------------------------------------
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, cols_per_group = self._cache
+        n, _, out_h, out_w = grad_output.shape
+        k = self.kernel_size
+        group_in = self.in_channels // self.groups
+        group_out = self.out_channels // self.groups
+
+        if self.has_bias:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+
+        grad_input = np.empty(input_shape, dtype=np.float64)
+        for g in range(self.groups):
+            grad_out_g = grad_output[:, g * group_out : (g + 1) * group_out]
+            grad_out_mat = grad_out_g.reshape(n, group_out, out_h * out_w)
+            cols = cols_per_group[g]
+
+            # weight gradient: sum over batch of grad_out @ cols^T
+            grad_w = np.einsum("nol,ncl->oc", grad_out_mat, cols, optimize=True)
+            self.weight.grad[g * group_out : (g + 1) * group_out] += grad_w.reshape(
+                group_out, group_in, k, k
+            )
+
+            # input gradient: W^T @ grad_out, folded back with col2im
+            w_g = self.weight.value[g * group_out : (g + 1) * group_out]
+            w_mat = w_g.reshape(group_out, group_in * k * k)
+            grad_cols = np.einsum("oc,nol->ncl", w_mat, grad_out_mat, optimize=True)
+            group_shape = (input_shape[0], group_in, input_shape[2], input_shape[3])
+            grad_input[:, g * group_in : (g + 1) * group_in] = col2im(
+                grad_cols, group_shape, k, k, self.stride, self.padding
+            )
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, groups={self.groups}, bias={self.has_bias})"
+        )

@@ -1,0 +1,86 @@
+"""Batch normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dimension of NCHW tensors.
+
+    Keeps running estimates of the per-channel mean and variance for use at
+    evaluation time, exactly as the reference architectures do.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(initializers.ones((num_features,)))
+        self.bias = Parameter(initializers.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected NCHW input with {self.num_features} channels, got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            count = x.shape[0] * x.shape[2] * x.shape[3]
+            unbiased_var = var * count / max(count - 1, 1)
+            self.running_mean[...] = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var[...] = (
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased_var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+        out = self.weight.value.reshape(1, -1, 1, 1) * x_hat + self.bias.value.reshape(
+            1, -1, 1, 1
+        )
+        self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, shape = self._cache
+        n, _, h, w = shape
+        count = n * h * w
+
+        self.weight.grad += (grad_output * x_hat).sum(axis=(0, 2, 3))
+        self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+
+        gamma = self.weight.value.reshape(1, -1, 1, 1)
+        grad_x_hat = grad_output * gamma
+        if not self.training:
+            # running statistics are constants w.r.t. the input
+            return grad_x_hat * inv_std.reshape(1, -1, 1, 1)
+
+        sum_grad = grad_x_hat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_grad_xhat = (grad_x_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        grad_input = (
+            inv_std.reshape(1, -1, 1, 1)
+            / count
+            * (count * grad_x_hat - sum_grad - x_hat * sum_grad_xhat)
+        )
+        return grad_input
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchNorm2d({self.num_features}, eps={self.eps}, momentum={self.momentum})"

@@ -1,0 +1,142 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size, im2col
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling over NCHW tensors."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        n, c, h, w = input_shape
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (n, c, out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        _, _, out_h, out_w = self.output_shape(x.shape)
+        k = self.kernel_size
+        # Treat channels independently by folding them into the batch.
+        x_flat = x.reshape(n * c, 1, h, w)
+        cols = im2col(x_flat, k, k, self.stride, self.padding)
+        # Padding with zeros would win over negative activations, so use -inf
+        # for positions introduced by padding.  im2col pads with zeros; we
+        # rebuild the padded mask by running im2col over a ones tensor.
+        if self.padding:
+            mask_cols = im2col(
+                np.ones_like(x_flat), k, k, self.stride, self.padding
+            )
+            cols = np.where(mask_cols > 0, cols, -np.inf)
+        cols = cols.reshape(n * c, k * k, out_h * out_w)
+        argmax = cols.argmax(axis=1)
+        out = np.take_along_axis(cols, argmax[:, None, :], axis=1).squeeze(1)
+        self._cache = (x.shape, argmax, cols.shape)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, argmax, cols_shape = self._cache
+        n, c, h, w = input_shape
+        k = self.kernel_size
+        _, _, out_h, out_w = self.output_shape(input_shape)
+
+        grad_cols = np.zeros(cols_shape, dtype=np.float64)
+        grad_flat = grad_output.reshape(n * c, out_h * out_w)
+        np.put_along_axis(grad_cols, argmax[:, None, :], grad_flat[:, None, :], axis=1)
+
+        from repro.nn.functional import col2im
+
+        grad_input = col2im(
+            grad_cols.reshape(n * c, k * k, out_h * out_w),
+            (n * c, 1, h, w),
+            k,
+            k,
+            self.stride,
+            self.padding,
+        )
+        return grad_input.reshape(n, c, h, w)
+
+
+class AvgPool2d(Module):
+    """Average pooling over NCHW tensors."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._input_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        n, c, h, w = input_shape
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (n, c, out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        _, _, out_h, out_w = self.output_shape(x.shape)
+        k = self.kernel_size
+        x_flat = x.reshape(n * c, 1, h, w)
+        cols = im2col(x_flat, k, k, self.stride, self.padding)
+        out = cols.reshape(n * c, k * k, out_h * out_w).mean(axis=1)
+        self._input_shape = x.shape
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        k = self.kernel_size
+        _, _, out_h, out_w = grad_output.shape
+
+        from repro.nn.functional import col2im
+
+        grad_cols = np.repeat(
+            grad_output.reshape(n * c, 1, out_h * out_w) / (k * k), k * k, axis=1
+        )
+        grad_input = col2im(
+            grad_cols, (n * c, 1, h, w), k, k, self.stride, self.padding
+        )
+        return grad_input.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling: ``(N, C, H, W) -> (N, C)``.
+
+    This is what makes the backbone architectures input-shape agnostic — the
+    paper relies on this property to run one trained backbone at many
+    resolutions.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        n, c, _, _ = input_shape
+        return (n, c)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        grad = grad_output.reshape(n, c, 1, 1) / (h * w)
+        return np.broadcast_to(grad, self._input_shape).copy()

@@ -1,0 +1,103 @@
+"""Loss functions.
+
+The two losses used in the paper's pipeline:
+
+* :class:`CrossEntropyLoss` — the standard classification objective used to
+  train backbone models;
+* :class:`BinaryCrossEntropyLoss` — the multilabel objective used to train
+  the *scale model*: one independent binary target per candidate resolution,
+  "will the backbone be correct at this resolution for this image?"
+  (paper §IV.a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient of
+    that mean loss with respect to the logits.
+    """
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError("logits must have shape (N, num_classes)")
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (logits.shape[0],):
+            raise ValueError("labels must have shape (N,)")
+        log_probs = log_softmax(logits, axis=1)
+        picked = log_probs[np.arange(labels.shape[0]), labels]
+        self._cache = (softmax(logits, axis=1), labels)
+        return float(-picked.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, labels = self._cache
+        grad = probs.copy()
+        grad[np.arange(labels.shape[0]), labels] -= 1.0
+        return grad / labels.shape[0]
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class BinaryCrossEntropyLoss:
+    """Sigmoid binary cross-entropy over multilabel targets.
+
+    Targets are a ``(N, K)`` array of {0, 1}: for the scale model, column
+    ``k`` is 1 when the backbone was correct at candidate resolution ``k``.
+    """
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        if logits.shape != targets.shape:
+            raise ValueError(
+                f"logits shape {logits.shape} does not match targets {targets.shape}"
+            )
+        # log(1 + exp(-|x|)) formulation avoids overflow for large |logits|.
+        max_term = np.maximum(logits, 0.0)
+        loss = max_term - logits * targets + np.log1p(np.exp(-np.abs(logits)))
+        self._cache = (sigmoid(logits), targets)
+        return float(loss.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, targets = self._cache
+        return (probs - targets) / probs.size
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)

@@ -1,0 +1,223 @@
+"""MobileNetV2 (Sandler et al., 2018).
+
+The paper uses MobileNetV2 at 112x112 as the *scale model*: a cheap network
+(0.08 GMACs at 112x112, versus 1.8 for ResNet-18 at 224x224) that predicts,
+per candidate resolution, whether the backbone will classify the image
+correctly (paper §IV.a and §VII.b).
+
+As with :mod:`repro.nn.resnet`, a ``mobilenet_tiny`` variant keeps the
+inverted-residual structure but shrinks widths/depths so it can actually be
+trained on synthetic data in the examples and integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import ReLU6
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pooling import GlobalAvgPool2d
+from repro.nn.module import Module, Sequential
+
+
+def _make_divisible(value: float, divisor: int = 8) -> int:
+    """Round channel counts to multiples of ``divisor`` (MobileNet convention)."""
+    rounded = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if rounded < 0.9 * value:
+        rounded += divisor
+    return rounded
+
+
+class ConvBNReLU(Module):
+    """Conv -> BatchNorm -> ReLU6, the basic MobileNet building unit."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        groups: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        padding = (kernel_size - 1) // 2
+        self.conv = Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            bias=False,
+            rng=rng,
+        )
+        self.bn = BatchNorm2d(out_channels)
+        self.act = ReLU6()
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return self.conv.output_shape(input_shape)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.act(self.bn(self.conv(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.act.backward(grad_output)
+        grad = self.bn.backward(grad)
+        return self.conv.backward(grad)
+
+
+class InvertedResidual(Module):
+    """MobileNetV2 inverted residual: expand (1x1) -> depthwise (3x3) -> project (1x1)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        expand_ratio: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if stride not in (1, 2):
+            raise ValueError("stride must be 1 or 2")
+        hidden_dim = int(round(in_channels * expand_ratio))
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand_ratio = expand_ratio
+
+        self.has_expand = expand_ratio != 1
+        if self.has_expand:
+            self.expand = ConvBNReLU(in_channels, hidden_dim, kernel_size=1, rng=rng)
+        self.depthwise = ConvBNReLU(
+            hidden_dim, hidden_dim, kernel_size=3, stride=stride, groups=hidden_dim, rng=rng
+        )
+        self.project_conv = Conv2d(hidden_dim, out_channels, 1, bias=False, rng=rng)
+        self.project_bn = BatchNorm2d(out_channels)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        shape = input_shape
+        if self.has_expand:
+            shape = self.expand.output_shape(shape)
+        shape = self.depthwise.output_shape(shape)
+        return self.project_conv.output_shape(shape)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        if self.has_expand:
+            out = self.expand(out)
+        out = self.depthwise(out)
+        out = self.project_bn(self.project_conv(out))
+        if self.use_residual:
+            out = out + x
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.project_bn.backward(grad_output)
+        grad = self.project_conv.backward(grad)
+        grad = self.depthwise.backward(grad)
+        if self.has_expand:
+            grad = self.expand.backward(grad)
+        if self.use_residual:
+            grad = grad + grad_output
+        return grad
+
+
+# (expand_ratio, out_channels, num_blocks, stride) for the reference model.
+_MOBILENET_V2_CONFIG = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+class MobileNetV2(Module):
+    """MobileNetV2 classifier."""
+
+    def __init__(
+        self,
+        num_classes: int = 1000,
+        width_mult: float = 1.0,
+        inverted_residual_config: tuple[tuple[int, int, int, int], ...] = _MOBILENET_V2_CONFIG,
+        dropout: float = 0.2,
+        last_channel: int | None = None,
+        stem_channels: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.width_mult = width_mult
+
+        input_channel = _make_divisible(stem_channels * width_mult)
+        if last_channel is None:
+            last_channel = _make_divisible(1280 * max(1.0, width_mult))
+
+        self.stem = ConvBNReLU(3, input_channel, stride=2, rng=rng)
+        blocks = []
+        for expand_ratio, channels, num_blocks, first_stride in inverted_residual_config:
+            out_channel = _make_divisible(channels * width_mult)
+            for block_index in range(num_blocks):
+                stride = first_stride if block_index == 0 else 1
+                blocks.append(
+                    InvertedResidual(input_channel, out_channel, stride, expand_ratio, rng=rng)
+                )
+                input_channel = out_channel
+        self.features = Sequential(*blocks)
+        self.head = ConvBNReLU(input_channel, last_channel, kernel_size=1, rng=rng)
+        self.avgpool = GlobalAvgPool2d()
+        self.dropout = Dropout(dropout, rng=rng)
+        self.classifier = Linear(last_channel, num_classes, rng=rng)
+        self.feature_dim = last_channel
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (input_shape[0], self.num_classes)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.stem(x)
+        out = self.features(out)
+        out = self.head(out)
+        out = self.avgpool(out)
+        out = self.dropout(out)
+        return self.classifier(out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_output)
+        grad = self.dropout.backward(grad)
+        grad = self.avgpool.backward(grad)
+        grad = self.head.backward(grad)
+        grad = self.features.backward(grad)
+        return self.stem.backward(grad)
+
+
+def mobilenet_v2(num_classes: int = 1000, width_mult: float = 1.0, seed: int = 0) -> MobileNetV2:
+    """The reference MobileNetV2 (~0.3 GMACs at 224x224, ~0.08 at 112x112)."""
+    return MobileNetV2(num_classes=num_classes, width_mult=width_mult, seed=seed)
+
+
+_MOBILENET_TINY_CONFIG = (
+    (1, 8, 1, 1),
+    (4, 12, 1, 2),
+    (4, 16, 2, 2),
+    (4, 24, 1, 2),
+)
+
+
+def mobilenet_tiny(num_classes: int = 10, seed: int = 0) -> MobileNetV2:
+    """A shrunk MobileNetV2 trainable on synthetic data within a test budget."""
+    model = MobileNetV2(
+        num_classes=num_classes,
+        width_mult=1.0,
+        inverted_residual_config=_MOBILENET_TINY_CONFIG,
+        dropout=0.0,
+        last_channel=64,
+        stem_channels=8,
+        seed=seed,
+    )
+    return model

@@ -1,0 +1,257 @@
+"""ResNet architectures (He et al., 2016).
+
+The paper's backbone models are ResNet-18 and ResNet-50.  Both end in a
+global average pool, which is what makes them *input-shape agnostic*: a
+single trained backbone can be evaluated at any inference resolution, the
+property the dynamic-resolution pipeline exploits (paper §IV.b).
+
+Besides the two full-size reference architectures, :func:`resnet_tiny`
+builds a narrow, shallow variant with the same block structure that can be
+trained end-to-end on the synthetic datasets within a test/CI budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pooling import GlobalAvgPool2d, MaxPool2d
+from repro.nn.module import Module, Sequential
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with an identity (or projected) skip connection."""
+
+    expansion = 1
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+
+        self.has_downsample = stride != 1 or in_channels != out_channels
+        if self.has_downsample:
+            self.down_conv = Conv2d(
+                in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+            )
+            self.down_bn = BatchNorm2d(out_channels)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        shape = self.conv1.output_shape(input_shape)
+        return self.conv2.output_shape(shape)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        identity = x
+        if self.has_downsample:
+            identity = self.down_bn(self.down_conv(x))
+        return self.relu2(out + identity)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad_output)
+        # Branch path
+        grad_branch = self.bn2.backward(grad_sum)
+        grad_branch = self.conv2.backward(grad_branch)
+        grad_branch = self.relu1.backward(grad_branch)
+        grad_branch = self.bn1.backward(grad_branch)
+        grad_branch = self.conv1.backward(grad_branch)
+        # Skip path
+        if self.has_downsample:
+            grad_skip = self.down_bn.backward(grad_sum)
+            grad_skip = self.down_conv.backward(grad_skip)
+        else:
+            grad_skip = grad_sum
+        return grad_branch + grad_skip
+
+
+class Bottleneck(Module):
+    """1x1 reduce, 3x3 spatial, 1x1 expand (ResNet-50 style)."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        planes: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        out_channels = planes * self.expansion
+        self.conv1 = Conv2d(in_channels, planes, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(planes)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(planes, planes, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(planes)
+        self.relu2 = ReLU()
+        self.conv3 = Conv2d(planes, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu3 = ReLU()
+
+        self.has_downsample = stride != 1 or in_channels != out_channels
+        if self.has_downsample:
+            self.down_conv = Conv2d(
+                in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+            )
+            self.down_bn = BatchNorm2d(out_channels)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        shape = self.conv1.output_shape(input_shape)
+        shape = self.conv2.output_shape(shape)
+        return self.conv3.output_shape(shape)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.relu2(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        identity = x
+        if self.has_downsample:
+            identity = self.down_bn(self.down_conv(x))
+        return self.relu3(out + identity)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu3.backward(grad_output)
+        grad_branch = self.bn3.backward(grad_sum)
+        grad_branch = self.conv3.backward(grad_branch)
+        grad_branch = self.relu2.backward(grad_branch)
+        grad_branch = self.bn2.backward(grad_branch)
+        grad_branch = self.conv2.backward(grad_branch)
+        grad_branch = self.relu1.backward(grad_branch)
+        grad_branch = self.bn1.backward(grad_branch)
+        grad_branch = self.conv1.backward(grad_branch)
+        if self.has_downsample:
+            grad_skip = self.down_bn.backward(grad_sum)
+            grad_skip = self.down_conv.backward(grad_skip)
+        else:
+            grad_skip = grad_sum
+        return grad_branch + grad_skip
+
+
+class ResNet(Module):
+    """Generic ResNet: stem, four stages of residual blocks, classifier head."""
+
+    def __init__(
+        self,
+        block: type,
+        layers: tuple[int, int, int, int],
+        num_classes: int = 1000,
+        base_width: int = 64,
+        stem_kernel: int = 7,
+        stem_stride: int = 2,
+        stem_pool: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.block_type = block
+        self.layer_config = layers
+        self.num_classes = num_classes
+        self.base_width = base_width
+
+        self.stem_conv = Conv2d(
+            3,
+            base_width,
+            stem_kernel,
+            stride=stem_stride,
+            padding=stem_kernel // 2,
+            bias=False,
+            rng=rng,
+        )
+        self.stem_bn = BatchNorm2d(base_width)
+        self.stem_relu = ReLU()
+        self.has_stem_pool = stem_pool
+        if stem_pool:
+            self.stem_pool = MaxPool2d(3, stride=2, padding=1)
+
+        in_channels = base_width
+        stages = []
+        for stage_index, num_blocks in enumerate(layers):
+            planes = base_width * (2**stage_index)
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(num_blocks):
+                block_stride = stride if block_index == 0 else 1
+                blocks.append(block(in_channels, planes, stride=block_stride, rng=rng))
+                in_channels = planes * block.expansion
+            stages.append(Sequential(*blocks))
+        self.stage1, self.stage2, self.stage3, self.stage4 = stages
+
+        self.avgpool = GlobalAvgPool2d()
+        self.fc = Linear(in_channels, num_classes, rng=rng)
+        self.feature_dim = in_channels
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (input_shape[0], self.num_classes)
+
+    def forward_features(self, x: np.ndarray) -> np.ndarray:
+        """Run the convolutional trunk, returning pooled ``(N, feature_dim)`` features."""
+        out = self.stem_relu(self.stem_bn(self.stem_conv(x)))
+        if self.has_stem_pool:
+            out = self.stem_pool(out)
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.stage4(out)
+        return self.avgpool(out)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc(self.forward_features(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.fc.backward(grad_output)
+        grad = self.avgpool.backward(grad)
+        grad = self.stage4.backward(grad)
+        grad = self.stage3.backward(grad)
+        grad = self.stage2.backward(grad)
+        grad = self.stage1.backward(grad)
+        if self.has_stem_pool:
+            grad = self.stem_pool.backward(grad)
+        grad = self.stem_relu.backward(grad)
+        grad = self.stem_bn.backward(grad)
+        return self.stem_conv.backward(grad)
+
+
+def resnet18(num_classes: int = 1000, seed: int = 0) -> ResNet:
+    """ResNet-18: BasicBlock x (2, 2, 2, 2), ~1.8 GMACs at 224x224."""
+    return ResNet(BasicBlock, (2, 2, 2, 2), num_classes=num_classes, seed=seed)
+
+
+def resnet50(num_classes: int = 1000, seed: int = 0) -> ResNet:
+    """ResNet-50: Bottleneck x (3, 4, 6, 3), ~4.1 GMACs at 224x224."""
+    return ResNet(Bottleneck, (3, 4, 6, 3), num_classes=num_classes, seed=seed)
+
+
+def resnet_tiny(num_classes: int = 10, base_width: int = 8, seed: int = 0) -> ResNet:
+    """A narrow ResNet with the same topology, trainable on synthetic data in tests.
+
+    Uses a 3x3/stride-1 stem without the max-pool so it accepts small inputs
+    (e.g. 32x32) while keeping the four-stage residual structure.
+    """
+    return ResNet(
+        BasicBlock,
+        (1, 1, 1, 1),
+        num_classes=num_classes,
+        base_width=base_width,
+        stem_kernel=3,
+        stem_stride=1,
+        stem_pool=False,
+        seed=seed,
+    )

@@ -1,0 +1,23 @@
+"""Checkpoint save/load helpers for numpy models."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_checkpoint(model: Module, path: str | os.PathLike) -> None:
+    """Save a model's parameters and buffers to an ``.npz`` file."""
+    state = model.state_dict()
+    np.savez_compressed(path, **{key: value for key, value in state.items()})
+
+
+def load_checkpoint(model: Module, path: str | os.PathLike) -> Module:
+    """Load parameters/buffers saved by :func:`save_checkpoint` into ``model``."""
+    with np.load(path) as data:
+        state = {key: data[key] for key in data.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,28 @@
+"""Storage substrate.
+
+Models the storage side of the paper's deployment picture: images live in a
+(remote) object store as progressively encoded files; the inference tier
+reads a *prefix* of each file's scans, paying for every byte moved (cloud
+storage and network are metered — paper §I, §II.a).  The package provides:
+
+* :class:`~repro.storage.store.ImageStore` — an in-memory progressive image
+  store with per-read byte accounting;
+* :class:`~repro.storage.bandwidth.StorageBandwidthModel` — transfer-time and
+  monetary-cost modeling for reads;
+* :class:`~repro.storage.policy.ScanReadPolicy` — maps an inference
+  resolution to the number of scans to read, built from calibrated
+  SSIM thresholds (the output of ``repro.core.calibration``).
+"""
+
+from repro.storage.store import ImageStore, ReadReceipt, StoredImage
+from repro.storage.bandwidth import StorageBandwidthModel, TransferEstimate
+from repro.storage.policy import ScanReadPolicy
+
+__all__ = [
+    "ImageStore",
+    "StoredImage",
+    "ReadReceipt",
+    "StorageBandwidthModel",
+    "TransferEstimate",
+    "ScanReadPolicy",
+]

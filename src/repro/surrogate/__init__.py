@@ -1,0 +1,42 @@
+"""Empirical accuracy surrogate.
+
+Training ImageNet/Cars-scale ResNet backbones is infeasible in this offline,
+CPU-only environment, so the benchmark harness that regenerates the paper's
+tables and figures evaluates the *decision logic* (storage calibration,
+static-vs-dynamic resolution selection, Pareto analysis) against an
+empirical accuracy model calibrated to the response surfaces the paper
+publishes:
+
+* Table I / Tables III-IV anchor the accuracy of ResNet-18/50 on
+  ImageNet/Cars at every (resolution, crop) the paper evaluates;
+* Fig 6 anchors how accuracy degrades as image fidelity (SSIM / bytes
+  read) is reduced, per dataset and resolution;
+* the object-scale mechanism of §III.c (smaller crops magnify objects and
+  shift the favoured resolution down) provides the per-image heterogeneity
+  that the scale model exploits.
+
+The surrogate is *not* used by the unit/integration tests of the pipeline
+itself — those train real (tiny) numpy CNNs on synthetic data — only by the
+paper-scale benchmark harness.  See DESIGN.md for the substitution table.
+"""
+
+from repro.surrogate.anchors import (
+    CROP_RATIOS,
+    RESOLUTIONS,
+    StaticAccuracyAnchors,
+    get_anchors,
+)
+from repro.surrogate.static_accuracy import StaticAccuracyModel
+from repro.surrogate.quality import QualityDegradationModel
+from repro.surrogate.per_image import PerImageOracle, SimulatedScaleModel
+
+__all__ = [
+    "RESOLUTIONS",
+    "CROP_RATIOS",
+    "StaticAccuracyAnchors",
+    "get_anchors",
+    "StaticAccuracyModel",
+    "QualityDegradationModel",
+    "PerImageOracle",
+    "SimulatedScaleModel",
+]

@@ -1,0 +1,178 @@
+"""Per-image correctness oracle and simulated scale model.
+
+The dataset-level accuracy surfaces (:mod:`repro.surrogate.static_accuracy`)
+say *how many* images a backbone classifies correctly at each (resolution,
+crop); the dynamic-resolution study additionally needs *which* images those
+are, because the whole point of the scale model is that different images
+favour different resolutions (paper §III.c, §IV).
+
+:class:`PerImageOracle` turns the aggregate surface into per-image
+correctness probabilities using the paper's object-scale mechanism: an
+image whose object appears larger than average behaves as if it were
+evaluated at a proportionally higher resolution (and vice versa), so its
+per-resolution correctness profile is the aggregate curve shifted along the
+resolution axis.  Averaging the per-image probabilities over a dataset
+recovers the aggregate curve (up to the scale distribution's spread), which
+the test suite checks.
+
+:class:`SimulatedScaleModel` models the trained MobileNetV2 scale model as a
+noisy observer of those per-image probabilities — it sees the true
+correctness profile corrupted by logit noise, mirroring a real predictor
+with imperfect but informative estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.surrogate.quality import QualityDegradationModel
+from repro.surrogate.static_accuracy import StaticAccuracyModel
+
+#: Spread (log-scale standard deviation) of per-image apparent object scale.
+DEFAULT_SCALE_SPREAD = 0.30
+#: Sharpness of the per-image accuracy-to-probability mapping.  Larger values
+#: make individual images more deterministic (correct at their favoured
+#: resolutions, wrong elsewhere) while preserving the dataset-level mean.
+PROBABILITY_SHARPNESS = 2.5
+#: Weight of the raw (unsharpened) probability in the per-image blend.
+PROBABILITY_BLEND = 0.1
+
+
+@dataclass(frozen=True)
+class ImageProfile:
+    """Latent per-image attributes drawn by the oracle."""
+
+    index: int
+    relative_scale: float  # apparent object scale relative to the dataset mean
+    difficulty: float  # in (0, 1); larger is harder at every resolution
+
+
+class PerImageOracle:
+    """Per-image correctness probabilities consistent with the aggregate surface."""
+
+    def __init__(
+        self,
+        dataset: str,
+        model: str,
+        num_images: int = 2000,
+        scale_spread: float = DEFAULT_SCALE_SPREAD,
+        seed: int = 0,
+    ) -> None:
+        if num_images <= 0:
+            raise ValueError("num_images must be positive")
+        self.dataset = dataset.lower()
+        self.model = model.lower()
+        self.num_images = num_images
+        self.static = StaticAccuracyModel(dataset, model)
+        self.quality = QualityDegradationModel(dataset)
+        rng = np.random.default_rng(seed)
+        scales = np.exp(rng.normal(0.0, scale_spread, size=num_images))
+        difficulties = rng.uniform(0.0, 1.0, size=num_images)
+        self.profiles = [
+            ImageProfile(index=i, relative_scale=float(scales[i]), difficulty=float(difficulties[i]))
+            for i in range(num_images)
+        ]
+        self._rng = np.random.default_rng(seed + 1)
+
+    # -- probabilities ---------------------------------------------------------
+    def correct_probability(
+        self,
+        profile: ImageProfile,
+        resolution: float,
+        crop_ratio: float,
+        ssim: float = 1.0,
+    ) -> float:
+        """Probability that the backbone classifies ``profile`` correctly.
+
+        The image's relative object scale shifts the effective resolution:
+        an object twice the average apparent size at resolution ``r`` looks
+        like the average object at resolution ``2 r``.
+        """
+        effective_resolution = resolution * profile.relative_scale
+        accuracy = self.static.accuracy(effective_resolution, crop_ratio)
+        accuracy = self.quality.accuracy_with_quality(accuracy, resolution, ssim)
+        base_probability = np.clip(accuracy / 100.0, 0.0, 1.0)
+        # Sharpen around the image difficulty so individual images are mostly
+        # deterministic while the dataset mean stays at `base_probability`.
+        sharpened = 1.0 / (
+            1.0 + np.exp(-PROBABILITY_SHARPNESS * 12.0 * (base_probability - profile.difficulty))
+        )
+        blended = PROBABILITY_BLEND * base_probability + (1.0 - PROBABILITY_BLEND) * sharpened
+        return float(np.clip(blended, 0.0, 1.0))
+
+    def probability_matrix(
+        self, resolutions: tuple[int, ...], crop_ratio: float, ssim: float = 1.0
+    ) -> np.ndarray:
+        """``(num_images, num_resolutions)`` correctness probabilities."""
+        matrix = np.empty((self.num_images, len(resolutions)))
+        for row, profile in enumerate(self.profiles):
+            for col, resolution in enumerate(resolutions):
+                matrix[row, col] = self.correct_probability(profile, resolution, crop_ratio, ssim)
+        return matrix
+
+    # -- sampling ---------------------------------------------------------------
+    def sample_correctness(
+        self, probabilities: np.ndarray, seed: int | None = None
+    ) -> np.ndarray:
+        """Draw one Bernoulli realization (per image, per resolution) of correctness."""
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        return (rng.random(probabilities.shape) < probabilities).astype(np.float64)
+
+    def dataset_accuracy(
+        self, resolution: int, crop_ratio: float, ssim: float = 1.0
+    ) -> float:
+        """Mean correctness probability (%), which tracks the aggregate surface."""
+        probabilities = self.probability_matrix((resolution,), crop_ratio, ssim)
+        return float(probabilities.mean() * 100.0)
+
+
+class SimulatedScaleModel:
+    """A noisy observer of the per-image correctness profile (the scale model).
+
+    The paper's scale model is a MobileNetV2 trained with per-resolution
+    binary targets; at test time the resolution with the highest predicted
+    correctness likelihood is selected.  The simulated counterpart perturbs
+    the oracle probabilities with logit noise whose magnitude controls how
+    well the scale model generalizes.
+    """
+
+    def __init__(self, logit_noise: float = 0.2, seed: int = 0) -> None:
+        if logit_noise < 0:
+            raise ValueError("logit_noise must be non-negative")
+        self.logit_noise = logit_noise
+        self._rng = np.random.default_rng(seed)
+
+    def predict_probabilities(self, true_probabilities: np.ndarray) -> np.ndarray:
+        """Predicted correctness likelihoods given the true per-image profile."""
+        clipped = np.clip(true_probabilities, 1e-4, 1.0 - 1e-4)
+        logits = np.log(clipped / (1.0 - clipped))
+        noisy = logits + self._rng.normal(0.0, self.logit_noise, size=logits.shape)
+        return 1.0 / (1.0 + np.exp(-noisy))
+
+    def choose_resolutions(
+        self,
+        true_probabilities: np.ndarray,
+        resolutions: tuple[int, ...],
+        flops_per_resolution: np.ndarray | None = None,
+        tie_tolerance: float = 0.02,
+    ) -> np.ndarray:
+        """Pick one resolution per image: highest predicted likelihood, ties to cheapest.
+
+        ``tie_tolerance`` implements the practical refinement the paper
+        discusses (§VIII.d): among resolutions whose predicted likelihood is
+        within the tolerance of the best, prefer the cheapest.
+        """
+        predicted = self.predict_probabilities(true_probabilities)
+        choices = np.empty(predicted.shape[0], dtype=np.int64)
+        order = np.arange(len(resolutions))
+        if flops_per_resolution is not None:
+            order = np.argsort(flops_per_resolution)
+        for row in range(predicted.shape[0]):
+            best = predicted[row].max()
+            for col in order:
+                if predicted[row, col] >= best - tie_tolerance:
+                    choices[row] = col
+                    break
+        return choices

@@ -1,0 +1,93 @@
+"""Accuracy degradation versus image fidelity.
+
+Encodes the shape of the paper's Fig 6 (storage calibration study): how
+top-1 accuracy changes as less image data is read, as a function of the
+SSIM of the decoded image relative to the full-fidelity reference at the
+same resolution.  The two dataset-dependent facts the model captures:
+
+* lower resolutions degrade *faster* per unit of fidelity lost (Fig 6:
+  "accuracy degrades more rapidly with respect to the amount of image data
+  saved compared to higher resolutions");
+* the texture-dominant dataset (ImageNet) is more sensitive than the
+  shape-dominant one (Cars), which is why Cars tolerates reading only about
+  half of its image data (Table IV) while ImageNet savings are smaller
+  (Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.profiles import DatasetProfile, get_profile
+
+#: Maps the paper's dataset names onto synthetic dataset profiles.
+_PROFILE_BY_DATASET = {"imagenet": "imagenet-like", "cars": "cars-like"}
+
+#: Accuracy drop (percentage points) at the most aggressive fidelity the
+#: calibration search considers (SSIM = 0.94) for a 112-pixel inference on
+#: a dataset with detail_sensitivity = 1.  Matches the ~3% worst-case drop
+#: visible at the left edge of Fig 6(a).
+_MAX_DROP_AT_FLOOR = 3.0
+#: SSIM floor of the paper's calibration search interval.
+SSIM_FLOOR = 0.94
+
+
+class QualityDegradationModel:
+    """Accuracy drop as a function of (resolution, SSIM) for one dataset."""
+
+    def __init__(self, dataset: str, profile: DatasetProfile | None = None) -> None:
+        self.dataset = dataset.lower()
+        if profile is None:
+            profile = get_profile(_PROFILE_BY_DATASET.get(self.dataset, "imagenet-like"))
+        self.profile = profile
+
+    def resolution_sensitivity(self, resolution: float) -> float:
+        """Relative degradation speed of a resolution (1.0 at 112, smaller above).
+
+        Higher inference resolutions tolerate lower input fidelity because
+        the downsampling that follows decoding discards most of the
+        corrupted high-frequency content — the paper's (initially
+        surprising) finding that high resolutions may need *less* data.
+        """
+        return float((112.0 / max(resolution, 1.0)) ** 1.2)
+
+    def accuracy_drop(self, resolution: float, ssim: float) -> float:
+        """Accuracy drop in percentage points when inputs reach only ``ssim`` fidelity."""
+        if not 0.0 <= ssim <= 1.0:
+            raise ValueError("ssim must be in [0, 1]")
+        fidelity_loss = max(0.0, 1.0 - ssim)
+        # Normalize so that ssim == SSIM_FLOOR gives the full calibrated drop.
+        normalized = fidelity_loss / (1.0 - SSIM_FLOOR)
+        drop = (
+            _MAX_DROP_AT_FLOOR
+            * self.profile.detail_sensitivity
+            * self.resolution_sensitivity(resolution)
+            * normalized**1.5
+        )
+        return float(drop)
+
+    def accuracy_with_quality(
+        self, base_accuracy: float, resolution: float, ssim: float
+    ) -> float:
+        """Accuracy after applying the fidelity penalty to a full-data accuracy."""
+        return max(0.0, base_accuracy - self.accuracy_drop(resolution, ssim))
+
+    def max_ssim_loss_for_drop(self, resolution: float, max_drop: float) -> float:
+        """Invert :meth:`accuracy_drop`: the lowest SSIM whose drop stays within ``max_drop``.
+
+        This closed form exists only for the surrogate; the real calibration
+        procedure (``repro.core.calibration``) performs the paper's binary
+        search and does not rely on it.
+        """
+        if max_drop <= 0:
+            return 1.0
+        scale = (
+            _MAX_DROP_AT_FLOOR
+            * self.profile.detail_sensitivity
+            * self.resolution_sensitivity(resolution)
+        )
+        if scale <= 0:
+            return SSIM_FLOOR
+        normalized = (max_drop / scale) ** (1.0 / 1.5)
+        ssim = 1.0 - normalized * (1.0 - SSIM_FLOOR)
+        return float(np.clip(ssim, SSIM_FLOOR, 1.0))

@@ -1,0 +1,106 @@
+"""Static-resolution accuracy surface.
+
+Interpolates the published anchor tables over resolution and extends them
+over arbitrary crop ratios via the paper's object-scale argument (§III.c):
+changing the center-crop area by a factor ``a`` rescales apparent object
+size by ``sqrt(a)``, which is equivalent (to first order) to evaluating the
+original crop at a resolution scaled by ``1/sqrt(a)``.  The 100% crop
+column of Figs 8/9 (not tabulated in the paper) is synthesized this way
+from the 75% anchors, with a small accuracy penalty for the extra
+background clutter a full crop admits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.anchors import CROP_RATIOS, RESOLUTIONS, StaticAccuracyAnchors, get_anchors
+
+#: Accuracy penalty (percentage points) applied when extrapolating to a full
+#: (100%) crop, accounting for additional background clutter.
+_FULL_CROP_PENALTY = 0.4
+
+
+class StaticAccuracyModel:
+    """Accuracy of a fixed-resolution backbone as a function of (resolution, crop).
+
+    Parameters
+    ----------
+    dataset:
+        ``"imagenet"`` or ``"cars"`` (the paper's two datasets).
+    model:
+        ``"resnet18"`` or ``"resnet50"``.
+    """
+
+    def __init__(self, dataset: str, model: str) -> None:
+        self.dataset = dataset.lower()
+        self.model = model.lower()
+        self.anchors: StaticAccuracyAnchors = get_anchors(dataset, model)
+        self._log_res = np.log(np.array(RESOLUTIONS, dtype=np.float64))
+
+    # -- internals -------------------------------------------------------------
+    def _interp_resolution(self, crop_ratio: float, resolution: float) -> float:
+        """Interpolate an anchored crop's accuracy curve at ``resolution``.
+
+        Interpolation is linear in log-resolution; beyond the anchored range
+        the curve is extended with a gentle decay toward lower accuracy,
+        mirroring the paper's observation that accuracy falls off on both
+        sides of the favoured resolution.
+        """
+        accuracies = np.array(self.anchors.accuracy[crop_ratio], dtype=np.float64)
+        log_r = np.log(resolution)
+        if log_r <= self._log_res[0]:
+            # Extrapolate below 112 with the low-end slope.
+            slope = (accuracies[1] - accuracies[0]) / (self._log_res[1] - self._log_res[0])
+            return float(accuracies[0] + slope * (log_r - self._log_res[0]))
+        if log_r >= self._log_res[-1]:
+            slope = (accuracies[-1] - accuracies[-2]) / (self._log_res[-1] - self._log_res[-2])
+            return float(accuracies[-1] + slope * (log_r - self._log_res[-1]))
+        return float(np.interp(log_r, self._log_res, accuracies))
+
+    def _nearest_anchor_crops(self, crop_ratio: float) -> tuple[float, float, float]:
+        """Anchored crops bracketing ``crop_ratio`` plus the blend weight."""
+        anchored = sorted(CROP_RATIOS)
+        if crop_ratio <= anchored[0]:
+            return anchored[0], anchored[0], 0.0
+        if crop_ratio >= anchored[-1]:
+            return anchored[-1], anchored[-1], 0.0
+        for low, high in zip(anchored, anchored[1:]):
+            if low <= crop_ratio <= high:
+                weight = (crop_ratio - low) / (high - low)
+                return low, high, weight
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- public API ---------------------------------------------------------------
+    def accuracy(self, resolution: float, crop_ratio: float) -> float:
+        """Top-1 accuracy (%) at ``resolution`` with a ``crop_ratio`` center crop."""
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        if not 0.0 < crop_ratio <= 1.0:
+            raise ValueError("crop_ratio must be in (0, 1]")
+
+        if crop_ratio in self.anchors.accuracy:
+            return self._interp_resolution(crop_ratio, resolution)
+
+        if crop_ratio > max(CROP_RATIOS):
+            # Synthesize from the 75% anchors via the object-scale equivalence:
+            # a larger crop shrinks objects by sqrt(crop/0.75), which matches
+            # the 75% crop evaluated at resolution / sqrt(crop/0.75).
+            scale = np.sqrt(crop_ratio / max(CROP_RATIOS))
+            penalty = _FULL_CROP_PENALTY * (crop_ratio - max(CROP_RATIOS)) / (1.0 - max(CROP_RATIOS))
+            return self._interp_resolution(max(CROP_RATIOS), resolution / scale) - penalty
+
+        low, high, weight = self._nearest_anchor_crops(crop_ratio)
+        low_acc = self._interp_resolution(low, resolution)
+        high_acc = self._interp_resolution(high, resolution)
+        return float((1.0 - weight) * low_acc + weight * high_acc)
+
+    def accuracy_curve(self, crop_ratio: float, resolutions=RESOLUTIONS) -> dict[int, float]:
+        """Accuracy at each resolution for a fixed crop (one static curve of Fig 8/9)."""
+        return {int(r): self.accuracy(r, crop_ratio) for r in resolutions}
+
+    def best_static(self, crop_ratio: float, resolutions=RESOLUTIONS) -> tuple[int, float]:
+        """The best fixed resolution and its accuracy for a crop (the paper's baseline)."""
+        curve = self.accuracy_curve(crop_ratio, resolutions)
+        best_resolution = max(curve, key=curve.get)
+        return best_resolution, curve[best_resolution]

@@ -1,0 +1,73 @@
+"""Pareto frontier and report formatting tests."""
+
+import pytest
+
+from repro.analysis.pareto import ParetoPoint, is_pareto_optimal, pareto_frontier
+from repro.analysis.report import format_table
+
+
+class TestParetoPoint:
+    def test_domination_requires_strict_improvement(self):
+        a = ParetoPoint(cost=1.0, value=10.0)
+        b = ParetoPoint(cost=1.0, value=10.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_cheaper_and_better_dominates(self):
+        better = ParetoPoint(cost=1.0, value=12.0)
+        worse = ParetoPoint(cost=2.0, value=10.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_tradeoff_points_do_not_dominate_each_other(self):
+        cheap = ParetoPoint(cost=1.0, value=5.0)
+        accurate = ParetoPoint(cost=3.0, value=9.0)
+        assert not cheap.dominates(accurate)
+        assert not accurate.dominates(cheap)
+
+    def test_tolerance_softens_domination(self):
+        a = ParetoPoint(cost=1.0, value=10.0)
+        b = ParetoPoint(cost=1.0, value=9.95)
+        assert a.dominates(b)
+        assert not a.dominates(b, tolerance=0.1)
+
+
+class TestFrontier:
+    def test_frontier_of_monotone_curve_is_whole_curve(self):
+        points = [ParetoPoint(cost=c, value=c * 2) for c in (1.0, 2.0, 3.0)]
+        assert len(pareto_frontier(points)) == 3
+
+    def test_dominated_points_removed(self):
+        points = [
+            ParetoPoint(1.0, 5.0, "cheap"),
+            ParetoPoint(2.0, 4.0, "dominated"),
+            ParetoPoint(3.0, 9.0, "accurate"),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["cheap", "accurate"]
+
+    def test_frontier_sorted_by_cost(self):
+        points = [ParetoPoint(3.0, 9.0), ParetoPoint(1.0, 5.0)]
+        frontier = pareto_frontier(points)
+        assert frontier[0].cost < frontier[1].cost
+
+    def test_is_pareto_optimal(self):
+        points = [ParetoPoint(1.0, 5.0), ParetoPoint(2.0, 8.0)]
+        assert is_pareto_optimal(ParetoPoint(1.5, 9.0), points)
+        assert not is_pareto_optimal(ParetoPoint(2.5, 7.0), points)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["res", "acc"], [[112, 47.8], [224, 69.5]])
+        assert "res" in text and "acc" in text
+        assert "47.8" in text and "224" in text
+
+    def test_rows_aligned(self):
+        text = format_table(["a", "b"], [[1, 2], [100, 200]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_format_applied(self):
+        text = format_table(["x"], [[3.14159]], float_format="{:.3f}")
+        assert "3.142" in text

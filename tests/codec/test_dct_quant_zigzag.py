@@ -1,0 +1,102 @@
+"""DCT, quantization-table and zigzag tests."""
+
+import numpy as np
+import pytest
+
+from repro.codec.dct import block_dct2, block_idct2, blockify, unblockify
+from repro.codec.quantization import CHROMA_QUANT_TABLE, LUMA_QUANT_TABLE, scale_quant_table
+from repro.codec.zigzag import ZIGZAG_FLAT, ZIGZAG_ORDER, zigzag_indices
+
+
+class TestDCT:
+    def test_roundtrip_identity(self, rng):
+        blocks = rng.normal(size=(10, 8, 8))
+        np.testing.assert_allclose(block_idct2(block_dct2(blocks)), blocks, atol=1e-12)
+
+    def test_constant_block_has_only_dc(self):
+        blocks = np.full((1, 8, 8), 3.0)
+        coefficients = block_dct2(blocks)
+        assert coefficients[0, 0, 0] == pytest.approx(24.0)  # 3 * 8 (orthonormal DC)
+        assert np.abs(coefficients[0]).sum() == pytest.approx(abs(coefficients[0, 0, 0]))
+
+    def test_energy_preservation(self, rng):
+        blocks = rng.normal(size=(5, 8, 8))
+        coefficients = block_dct2(blocks)
+        np.testing.assert_allclose(
+            (coefficients**2).sum(axis=(1, 2)), (blocks**2).sum(axis=(1, 2)), rtol=1e-10
+        )
+
+    def test_cosine_input_concentrates_energy(self):
+        x = np.cos(np.pi * (2 * np.arange(8) + 1) * 2 / 16)
+        block = np.tile(x, (8, 1))[None]
+        coefficients = block_dct2(block)
+        dominant = np.abs(coefficients[0]).argmax()
+        assert np.unravel_index(dominant, (8, 8)) == (0, 2)
+
+
+class TestBlockify:
+    def test_roundtrip_exact_multiple(self, rng):
+        plane = rng.normal(size=(32, 40))
+        blocks, padded = blockify(plane)
+        assert blocks.shape == (20, 8, 8)
+        np.testing.assert_array_equal(unblockify(blocks, padded, plane.shape), plane)
+
+    def test_roundtrip_with_padding(self, rng):
+        plane = rng.normal(size=(30, 37))
+        blocks, padded = blockify(plane)
+        assert padded == (32, 40)
+        np.testing.assert_array_equal(unblockify(blocks, padded, plane.shape), plane)
+
+    def test_padding_uses_edge_replication(self):
+        plane = np.arange(6, dtype=np.float64).reshape(1, 6).repeat(6, axis=0)
+        blocks, _ = blockify(plane)
+        # Last valid column value (5.0) must be replicated into the padding.
+        assert blocks[0, 0, -1] == 5.0
+
+
+class TestQuantization:
+    def test_quality_50_is_base_table(self):
+        np.testing.assert_array_equal(scale_quant_table(LUMA_QUANT_TABLE, 50), LUMA_QUANT_TABLE)
+
+    def test_higher_quality_means_finer_steps(self):
+        q90 = scale_quant_table(LUMA_QUANT_TABLE, 90)
+        q30 = scale_quant_table(LUMA_QUANT_TABLE, 30)
+        assert q90.mean() < LUMA_QUANT_TABLE.mean() < q30.mean()
+
+    def test_steps_stay_in_valid_range(self):
+        for quality in (1, 25, 75, 100):
+            table = scale_quant_table(CHROMA_QUANT_TABLE, quality)
+            assert table.min() >= 1.0 and table.max() <= 255.0
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(ValueError):
+            scale_quant_table(LUMA_QUANT_TABLE, 0)
+        with pytest.raises(ValueError):
+            scale_quant_table(LUMA_QUANT_TABLE, 101)
+
+
+class TestZigzag:
+    def test_covers_every_position_once(self):
+        assert ZIGZAG_ORDER.shape == (64, 2)
+        assert len(set(map(tuple, ZIGZAG_ORDER.tolist()))) == 64
+        assert sorted(ZIGZAG_FLAT.tolist()) == list(range(64))
+
+    def test_starts_at_dc_and_ends_at_highest_frequency(self):
+        assert tuple(ZIGZAG_ORDER[0]) == (0, 0)
+        assert tuple(ZIGZAG_ORDER[-1]) == (7, 7)
+
+    def test_standard_prefix(self):
+        # The canonical JPEG zigzag starts (0,0),(0,1),(1,0),(2,0),(1,1),(0,2).
+        expected = [(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]
+        assert [tuple(p) for p in ZIGZAG_ORDER[:6]] == expected
+
+    def test_frequency_monotone_on_average(self):
+        # Later zigzag positions have, on average, higher row+col frequency.
+        sums = ZIGZAG_ORDER.sum(axis=1)
+        assert sums[:16].mean() < sums[-16:].mean()
+
+    def test_generic_size(self):
+        order = zigzag_indices(4)
+        assert order.shape == (16, 2)
+        assert tuple(order[0]) == (0, 0)
+        assert tuple(order[-1]) == (3, 3)

@@ -1,0 +1,96 @@
+"""Progressive encoder/decoder tests — the properties the paper relies on."""
+
+import numpy as np
+import pytest
+
+from repro.codec.progressive import ProgressiveEncoder
+from repro.imaging.metrics import psnr, ssim
+
+
+class TestEncoding:
+    def test_image_dimensions_preserved(self, encoded_image, sample_image):
+        assert (encoded_image.height, encoded_image.width) == sample_image.shape[:2]
+
+    def test_default_has_five_scans(self, encoded_image):
+        assert encoded_image.num_scans == 5
+
+    def test_total_bytes_positive_and_consistent(self, encoded_image):
+        assert encoded_image.total_bytes > 0
+        assert encoded_image.total_bytes == encoded_image.cumulative_bytes(
+            encoded_image.num_scans
+        )
+
+    def test_custom_scan_count(self, sample_image):
+        encoded = ProgressiveEncoder(quality=80, num_scans=8).encode(sample_image)
+        assert encoded.num_scans == 8
+
+    def test_rejects_bad_quality(self):
+        with pytest.raises(ValueError):
+            ProgressiveEncoder(quality=0)
+
+    def test_rejects_grayscale_input(self):
+        with pytest.raises(ValueError):
+            ProgressiveEncoder().encode(np.zeros((32, 32)))
+
+
+class TestByteAccounting:
+    def test_cumulative_bytes_monotone(self, encoded_image):
+        cumulative = [encoded_image.cumulative_bytes(k) for k in range(encoded_image.num_scans + 1)]
+        assert all(b2 > b1 for b1, b2 in zip(cumulative, cumulative[1:]))
+
+    def test_relative_read_size_in_unit_interval(self, encoded_image):
+        for k in range(1, encoded_image.num_scans + 1):
+            assert 0.0 < encoded_image.relative_read_size(k) <= 1.0
+        assert encoded_image.relative_read_size(encoded_image.num_scans) == pytest.approx(1.0)
+
+    def test_out_of_range_scan_counts_rejected(self, encoded_image):
+        with pytest.raises(ValueError):
+            encoded_image.cumulative_bytes(encoded_image.num_scans + 1)
+        with pytest.raises(ValueError):
+            encoded_image.decode(0)
+
+    def test_higher_quality_encodes_more_bytes(self, sample_image):
+        low = ProgressiveEncoder(quality=60).encode(sample_image)
+        high = ProgressiveEncoder(quality=95).encode(sample_image)
+        assert high.total_bytes > low.total_bytes
+
+
+class TestProgressiveDecoding:
+    def test_decoded_shape_and_range(self, encoded_image, sample_image):
+        decoded = encoded_image.decode(1)
+        assert decoded.shape == sample_image.shape
+        assert decoded.min() >= 0.0 and decoded.max() <= 1.0
+
+    def test_quality_improves_with_scans(self, encoded_image, sample_image):
+        """The core progressive property (paper Fig 2): more scans, better SSIM."""
+        scores = [
+            ssim(sample_image, encoded_image.decode(k))
+            for k in range(1, encoded_image.num_scans + 1)
+        ]
+        assert all(b >= a - 1e-6 for a, b in zip(scores, scores[1:]))
+        assert scores[-1] > scores[0] + 0.05
+
+    def test_full_decode_is_reasonably_faithful(self, encoded_image, sample_image):
+        assert psnr(sample_image, encoded_image.decode()) > 28.0
+        assert ssim(sample_image, encoded_image.decode()) > 0.85
+
+    def test_dc_only_decode_is_blurry_but_valid(self, encoded_image, sample_image):
+        dc_only = encoded_image.decode(1)
+        assert ssim(sample_image, dc_only) < ssim(sample_image, encoded_image.decode())
+
+    def test_no_chroma_subsampling_improves_fidelity(self, sample_image):
+        subsampled = ProgressiveEncoder(quality=85, chroma_subsample=True).encode(sample_image)
+        full_chroma = ProgressiveEncoder(quality=85, chroma_subsample=False).encode(sample_image)
+        assert psnr(sample_image, full_chroma.decode()) >= psnr(
+            sample_image, subsampled.decode()
+        )
+        assert full_chroma.total_bytes > subsampled.total_bytes
+
+    def test_odd_sized_image_roundtrip(self):
+        from repro.imaging.synthetic import SceneSpec, render_scene
+
+        image = render_scene(SceneSpec(class_id=1, object_scale=0.5), 83)
+        encoded = ProgressiveEncoder(quality=85).encode(image)
+        decoded = encoded.decode()
+        assert decoded.shape == image.shape
+        assert ssim(image, decoded) > 0.8

@@ -1,0 +1,76 @@
+"""Scan-band and size-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.codec.scans import DEFAULT_SCAN_BANDS, ScanBand, spectral_bands
+from repro.codec.size_model import (
+    estimate_band_bits,
+    estimate_scan_bytes,
+    magnitude_category,
+)
+
+
+class TestScanBands:
+    def test_default_layout_covers_spectrum(self):
+        positions = []
+        for band in DEFAULT_SCAN_BANDS:
+            positions.extend(range(band.start, band.end + 1))
+        assert sorted(positions) == list(range(64))
+
+    def test_default_layout_has_dc_first(self):
+        assert DEFAULT_SCAN_BANDS[0] == ScanBand(0, 0)
+
+    @pytest.mark.parametrize("num_scans", [2, 3, 5, 8, 10])
+    def test_generated_layouts_cover_spectrum(self, num_scans):
+        bands = spectral_bands(num_scans)
+        assert len(bands) == num_scans
+        positions = []
+        for band in bands:
+            positions.extend(range(band.start, band.end + 1))
+        assert sorted(positions) == list(range(64))
+
+    def test_generated_bands_widen(self):
+        bands = spectral_bands(5)
+        widths = [band.width for band in bands[1:]]
+        assert widths == sorted(widths)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            ScanBand(5, 3)
+        with pytest.raises(ValueError):
+            ScanBand(0, 64)
+        with pytest.raises(ValueError):
+            spectral_bands(1)
+
+
+class TestSizeModel:
+    def test_magnitude_category_values(self):
+        values = np.array([0, 1, -1, 2, 3, -4, 7, 8, 255, -256])
+        expected = np.array([0, 1, 1, 2, 2, 3, 3, 4, 8, 9])
+        np.testing.assert_array_equal(magnitude_category(values), expected)
+
+    def test_all_zero_band_costs_only_overhead(self):
+        bits = estimate_band_bits(np.zeros((10, 5), dtype=np.int64))
+        assert bits > 0
+        # No magnitude bits, so the cost is bounded by run + EOB symbols.
+        assert bits <= 10 * (6.0 + 3.0)
+
+    def test_more_nonzeros_cost_more_bits(self):
+        sparse = np.zeros((20, 10), dtype=np.int64)
+        sparse[:, 0] = 3
+        dense = np.full((20, 10), 3, dtype=np.int64)
+        assert estimate_band_bits(dense) > estimate_band_bits(sparse)
+
+    def test_larger_magnitudes_cost_more_bits(self):
+        small = np.full((20, 10), 1, dtype=np.int64)
+        large = np.full((20, 10), 100, dtype=np.int64)
+        assert estimate_band_bits(large) > estimate_band_bits(small)
+
+    def test_scan_bytes_include_header(self):
+        empty = [np.zeros((1, 1), dtype=np.int64)]
+        assert estimate_scan_bytes(empty) >= 12
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            estimate_band_bits(np.zeros(10, dtype=np.int64))

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (synthetic datasets, rendered images, encoded images,
+trained tiny models) are session-scoped so many tests can share them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.progressive import ProgressiveEncoder
+from repro.data.dataset import SyntheticDataset
+from repro.data.profiles import CARS_LIKE, IMAGENET_LIKE
+from repro.imaging.synthetic import SceneSpec, render_scene
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def sample_image() -> np.ndarray:
+    """A 96x96 synthetic scene used across imaging/codec tests."""
+    spec = SceneSpec(class_id=2, object_scale=0.5, texture_weight=0.6)
+    return render_scene(spec, 96)
+
+
+@pytest.fixture(scope="session")
+def large_sample_image() -> np.ndarray:
+    """A 224x224 synthetic scene for tests that need realistic sizes."""
+    spec = SceneSpec(class_id=4, object_scale=0.6, texture_weight=0.7)
+    return render_scene(spec, 224)
+
+
+@pytest.fixture(scope="session")
+def encoded_image(sample_image):
+    """The sample image, progressively encoded with the default 5-scan layout."""
+    return ProgressiveEncoder(quality=85).encode(sample_image)
+
+
+@pytest.fixture(scope="session")
+def tiny_imagenet_like() -> SyntheticDataset:
+    """A small ImageNet-like synthetic dataset (reduced size and resolution)."""
+    profile = IMAGENET_LIKE
+    small_profile = type(profile)(
+        name="imagenet-like-tiny",
+        num_classes=4,
+        storage_resolution_mean=96,
+        storage_resolution_std=10,
+        object_scale_mean=profile.object_scale_mean,
+        object_scale_std=profile.object_scale_std,
+        texture_weight=profile.texture_weight,
+        detail_sensitivity=profile.detail_sensitivity,
+    )
+    return SyntheticDataset(small_profile, size=48, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_cars_like() -> SyntheticDataset:
+    """A small Cars-like synthetic dataset."""
+    profile = CARS_LIKE
+    small_profile = type(profile)(
+        name="cars-like-tiny",
+        num_classes=4,
+        storage_resolution_mean=96,
+        storage_resolution_std=10,
+        object_scale_mean=profile.object_scale_mean,
+        object_scale_std=profile.object_scale_std,
+        texture_weight=profile.texture_weight,
+        detail_sensitivity=profile.detail_sensitivity,
+    )
+    return SyntheticDataset(small_profile, size=32, seed=11)

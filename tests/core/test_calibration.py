@@ -1,0 +1,113 @@
+"""Storage calibration (binary search) tests."""
+
+import numpy as np
+import pytest
+
+from repro.codec.progressive import ProgressiveEncoder
+from repro.core.calibration import StorageCalibrator
+from repro.imaging.synthetic import SceneSpec, render_scene
+
+
+@pytest.fixture(scope="module")
+def calibration_images():
+    encoder = ProgressiveEncoder(quality=85)
+    images = []
+    for index in range(4):
+        spec = SceneSpec(
+            class_id=index % 3, object_scale=0.5 + 0.1 * index, background_seed=index,
+            texture_weight=0.6,
+        )
+        images.append(encoder.encode(render_scene(spec, 96)))
+    return images
+
+
+def linear_drop_evaluator(baseline: float = 70.0, slope: float = 20.0):
+    """A synthetic accuracy evaluator: accuracy falls linearly below SSIM 1.0."""
+
+    def evaluate(threshold: float, resolution: int) -> float:
+        return baseline - slope * (1.0 - threshold)
+
+    return evaluate
+
+
+class TestBinarySearch:
+    def test_threshold_satisfies_constraint(self, calibration_images):
+        calibrator = StorageCalibrator(calibration_images, max_accuracy_loss=0.05)
+        evaluator = linear_drop_evaluator(slope=20.0)
+        threshold, baseline, calibrated = calibrator.calibrate_resolution(224, evaluator)
+        assert baseline - calibrated <= 0.05 + 1e-9
+        # 20 * (1 - t) <= 0.05  =>  t >= 0.9975
+        assert threshold == pytest.approx(0.9975, abs=calibrator.tolerance * 2)
+
+    def test_takes_floor_when_no_accuracy_loss(self, calibration_images):
+        calibrator = StorageCalibrator(calibration_images)
+        threshold, _, _ = calibrator.calibrate_resolution(224, lambda t, r: 70.0)
+        assert threshold == calibrator.ssim_low
+
+    def test_tighter_tolerance_gives_higher_threshold(self, calibration_images):
+        calibrator_tight = StorageCalibrator(calibration_images, max_accuracy_loss=0.01)
+        calibrator_loose = StorageCalibrator(calibration_images, max_accuracy_loss=0.5)
+        evaluator = linear_drop_evaluator(slope=20.0)
+        tight, _, _ = calibrator_tight.calibrate_resolution(224, evaluator)
+        loose, _, _ = calibrator_loose.calibrate_resolution(224, evaluator)
+        assert tight > loose
+
+    def test_search_terminates_within_tolerance(self, calibration_images):
+        calibrator = StorageCalibrator(calibration_images, tolerance=1e-4)
+        calls = []
+
+        def counting_evaluator(threshold, resolution):
+            calls.append(threshold)
+            return 70.0 - 30.0 * (1.0 - threshold)
+
+        calibrator.calibrate_resolution(224, counting_evaluator)
+        # Binary search over [0.94, 1.0] with 1e-4 steps needs ~10 probes
+        # (plus the baseline and floor probes).
+        assert len(calls) <= 14
+
+
+class TestScansAndReadSizes:
+    def test_higher_threshold_needs_more_scans(self, calibration_images):
+        calibrator = StorageCalibrator(calibration_images)
+        low = calibrator.scans_for_threshold(96, 0.90)
+        high = calibrator.scans_for_threshold(96, 0.999)
+        assert all(h >= l for l, h in zip(low, high))
+
+    def test_relative_read_size_bounds(self, calibration_images):
+        calibrator = StorageCalibrator(calibration_images)
+        value = calibrator.relative_read_size(96, 0.97)
+        assert 0.0 < value <= 1.0
+
+    def test_read_size_monotone_in_threshold(self, calibration_images):
+        calibrator = StorageCalibrator(calibration_images)
+        assert calibrator.relative_read_size(96, 0.999) >= calibrator.relative_read_size(
+            96, 0.95
+        )
+
+
+class TestCalibrateAll:
+    def test_full_calibration_produces_policy(self, calibration_images):
+        calibrator = StorageCalibrator(calibration_images)
+        result = calibrator.calibrate((64, 96), linear_drop_evaluator(slope=10.0))
+        assert set(result.ssim_thresholds) == {64, 96}
+        policy = result.read_policy()
+        assert policy.ssim_thresholds == result.ssim_thresholds
+        for resolution in (64, 96):
+            assert 0.0 <= result.read_savings(resolution) < 1.0
+
+    def test_sweep_curve_shape(self, calibration_images):
+        calibrator = StorageCalibrator(calibration_images)
+        curve = calibrator.sweep_curve(96, linear_drop_evaluator(slope=10.0), points=5)
+        assert len(curve.ssim_values) == 5
+        assert len(curve.relative_read_sizes) == 5
+        # Accuracy change is <= 0 and recovers to 0 at full quality.
+        assert curve.accuracy_changes[-1] == pytest.approx(0.0, abs=1e-9)
+        assert min(curve.accuracy_changes) <= 0.0
+
+    def test_constructor_validation(self, calibration_images):
+        with pytest.raises(ValueError):
+            StorageCalibrator([])
+        with pytest.raises(ValueError):
+            StorageCalibrator(calibration_images, max_accuracy_loss=-1.0)
+        with pytest.raises(ValueError):
+            StorageCalibrator(calibration_images, ssim_low=1.0, ssim_high=0.9)

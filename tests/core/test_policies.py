@@ -1,0 +1,46 @@
+"""Resolution policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    OracleResolutionPolicy,
+    StaticResolutionPolicy,
+)
+
+
+class TestStaticPolicy:
+    def test_always_returns_fixed_resolution(self):
+        policy = StaticResolutionPolicy(224)
+        assert policy.select(np.zeros((8, 8, 3))) == 224
+        assert policy.name == "static-224"
+
+    def test_rejects_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            StaticResolutionPolicy(0)
+
+
+class TestOraclePolicy:
+    def test_picks_cheapest_correct_resolution(self):
+        policy = OracleResolutionPolicy((112, 224, 448))
+        policy.register(0, np.array([0.0, 1.0, 1.0]))
+        assert policy.select_for_index(0) == 224
+
+    def test_falls_back_to_highest_when_never_correct(self):
+        policy = OracleResolutionPolicy((112, 224, 448))
+        policy.register(1, np.array([0.0, 0.0, 0.0]))
+        assert policy.select_for_index(1) == 448
+
+    def test_unregistered_index_uses_highest_resolution(self):
+        policy = OracleResolutionPolicy((112, 224))
+        assert policy.select_for_index(99) == 224
+
+    def test_register_validates_shape(self):
+        policy = OracleResolutionPolicy((112, 224))
+        with pytest.raises(ValueError):
+            policy.register(0, np.array([1.0]))
+
+    def test_select_by_image_not_supported(self):
+        policy = OracleResolutionPolicy((112, 224))
+        with pytest.raises(NotImplementedError):
+            policy.select(np.zeros((4, 4, 3)))

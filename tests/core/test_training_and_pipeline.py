@@ -1,0 +1,200 @@
+"""Trainer, sharding, scale-model and end-to-end pipeline tests on tiny models.
+
+These tests exercise the *real-model* path of the reproduction: tiny numpy
+CNNs trained on small synthetic datasets, flowing through the same sharding,
+multilabel scale-model training and two-stage pipeline code the paper
+describes.  Budgets are kept small so the whole module runs in tens of
+seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.progressive import ProgressiveEncoder
+from repro.core.pipeline import DynamicResolutionPipeline
+from repro.core.policies import DynamicResolutionPolicy, StaticResolutionPolicy
+from repro.core.scale_model import ScaleModelConfig, ScaleModelTrainer
+from repro.core.sharding import train_sharded_backbones
+from repro.core.trainer import Trainer, TrainingConfig, evaluate_accuracy
+from repro.nn.mobilenet import mobilenet_tiny
+from repro.nn.resnet import resnet_tiny
+from repro.storage.policy import ScanReadPolicy
+from repro.storage.store import ImageStore
+
+RESOLUTIONS = (24, 32, 48)
+TRAIN_CONFIG = TrainingConfig(
+    resolution=32, epochs=2, batch_size=12, learning_rate=0.08, seed=0,
+    augment_random_scale=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_backbone(tiny_imagenet_like):
+    """A tiny backbone trained on the first 36 samples of the synthetic dataset."""
+    model = resnet_tiny(num_classes=tiny_imagenet_like.profile.num_classes, base_width=6, seed=0)
+    trainer = Trainer(model, tiny_imagenet_like, TRAIN_CONFIG)
+    trainer.fit(np.arange(36))
+    return model, trainer
+
+
+class TestTrainer:
+    def test_loss_decreases_over_epochs(self, trained_backbone):
+        _, trainer = trained_backbone
+        losses = [record["train_loss"] for record in trainer.history]
+        assert losses[-1] < losses[0]
+
+    def test_training_beats_chance_on_train_set(self, tiny_imagenet_like, trained_backbone):
+        model, trainer = trained_backbone
+        accuracy = trainer.evaluate(np.arange(36), resolution=32)
+        chance = 100.0 / tiny_imagenet_like.profile.num_classes
+        assert accuracy > chance * 1.5
+
+    def test_evaluate_at_other_resolutions_runs(self, tiny_imagenet_like, trained_backbone):
+        model, _ = trained_backbone
+        for resolution in RESOLUTIONS:
+            accuracy = evaluate_accuracy(
+                model, tiny_imagenet_like, np.arange(12), resolution
+            )
+            assert 0.0 <= accuracy <= 100.0
+
+    def test_predict_correctness_is_binary(self, trained_backbone):
+        _, trainer = trained_backbone
+        correctness = trainer.predict_correctness(np.arange(8), resolution=32)
+        assert set(np.unique(correctness)).issubset({0.0, 1.0})
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="rmsprop")
+
+
+class TestShardingAndScaleModel:
+    @pytest.fixture(scope="class")
+    def sharded(self, tiny_imagenet_like):
+        return train_sharded_backbones(
+            tiny_imagenet_like,
+            np.arange(32),
+            backbone_factory=lambda seed: resnet_tiny(
+                num_classes=tiny_imagenet_like.profile.num_classes, base_width=6, seed=seed
+            ),
+            num_shards=2,
+            config=TrainingConfig(
+                resolution=32, epochs=1, batch_size=12, learning_rate=0.08,
+                augment_random_scale=0.0,
+            ),
+        )
+
+    def test_shards_are_disjoint_and_cover_training_set(self, sharded):
+        combined = np.concatenate(sharded.shards)
+        assert sorted(combined.tolist()) == list(range(32))
+
+    def test_targets_have_one_column_per_resolution(self, sharded):
+        indices, targets = sharded.correctness_targets(RESOLUTIONS, crop_ratio=0.75)
+        assert targets.shape == (len(indices), len(RESOLUTIONS))
+        assert set(np.unique(targets)).issubset({0.0, 1.0})
+
+    def test_scale_model_trains_and_predicts(self, tiny_imagenet_like, sharded):
+        indices, targets = sharded.correctness_targets(RESOLUTIONS, crop_ratio=0.75)
+        scale_model = mobilenet_tiny(num_classes=len(RESOLUTIONS), seed=3)
+        trainer = ScaleModelTrainer(
+            scale_model,
+            tiny_imagenet_like,
+            RESOLUTIONS,
+            ScaleModelConfig(scale_resolution=24, epochs=1, batch_size=12),
+        )
+        history = trainer.fit(indices, targets)
+        assert history and np.isfinite(history[-1]["train_loss"])
+
+        predictor = trainer.predictor()
+        probabilities = predictor.predict_probabilities(tiny_imagenet_like[0].render())
+        assert probabilities.shape == (len(RESOLUTIONS),)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+        resolution, _ = predictor.choose_resolution(tiny_imagenet_like[0].render())
+        assert resolution in RESOLUTIONS
+
+    def test_scale_trainer_validates_targets(self, tiny_imagenet_like):
+        scale_model = mobilenet_tiny(num_classes=len(RESOLUTIONS), seed=3)
+        trainer = ScaleModelTrainer(scale_model, tiny_imagenet_like, RESOLUTIONS)
+        with pytest.raises(ValueError):
+            trainer.fit(np.arange(4), np.zeros((4, 2)))
+
+
+class TestDynamicPipeline:
+    @pytest.fixture(scope="class")
+    def store(self, tiny_imagenet_like):
+        store = ImageStore(encoder=ProgressiveEncoder(quality=85))
+        for sample in list(tiny_imagenet_like)[36:48]:
+            store.put(f"img{sample.index}", sample.render(96), label=sample.label)
+        return store
+
+    @pytest.fixture(scope="class")
+    def pipelines(self, store, trained_backbone, tiny_imagenet_like):
+        backbone, trainer = trained_backbone
+        # Scale model trained directly against the single backbone's
+        # correctness (enough signal for a smoke-level integration test).
+        indices = np.arange(24)
+        targets = np.stack(
+            [trainer.predict_correctness(indices, r) for r in RESOLUTIONS], axis=1
+        )
+        scale_model = mobilenet_tiny(num_classes=len(RESOLUTIONS), seed=5)
+        scale_trainer = ScaleModelTrainer(
+            scale_model,
+            tiny_imagenet_like,
+            RESOLUTIONS,
+            ScaleModelConfig(scale_resolution=24, epochs=1, batch_size=12),
+        )
+        scale_trainer.fit(indices, targets)
+
+        read_policy = ScanReadPolicy(ssim_thresholds={r: 0.96 for r in RESOLUTIONS})
+        dynamic = DynamicResolutionPipeline(
+            store=store,
+            backbone=backbone,
+            policy=DynamicResolutionPolicy(scale_trainer.predictor()),
+            resolutions=RESOLUTIONS,
+            read_policy=read_policy,
+            scale_resolution=24,
+            scale_model_macs=1_000_000,
+        )
+        static = DynamicResolutionPipeline(
+            store=store,
+            backbone=backbone,
+            policy=StaticResolutionPolicy(48),
+            resolutions=RESOLUTIONS,
+            read_policy=ScanReadPolicy(),
+        )
+        return dynamic, static
+
+    def test_records_account_bytes_and_flops(self, pipelines, store):
+        dynamic, _ = pipelines
+        record = dynamic.infer(store.keys()[0])
+        assert record.bytes_read > 0
+        assert record.bytes_read <= record.total_bytes
+        assert record.backbone_macs > 0
+        assert record.resolution in RESOLUTIONS
+
+    def test_dynamic_pipeline_reads_no_more_than_full_static(self, pipelines, store):
+        dynamic, static = pipelines
+        keys = store.keys()[:6]
+        dynamic_stats = dynamic.infer_all(keys)
+        static_stats = static.infer_all(keys)
+        assert dynamic_stats.mean_relative_read_size <= 1.0 + 1e-9
+        assert static_stats.mean_relative_read_size == pytest.approx(1.0)
+        assert dynamic_stats.read_savings >= 0.0
+
+    def test_stats_aggregation(self, pipelines, store):
+        dynamic, _ = pipelines
+        stats = dynamic.stats
+        assert stats.num_requests >= 1
+        histogram = stats.resolution_histogram()
+        assert sum(histogram.values()) == stats.num_requests
+        assert 0.0 <= stats.accuracy <= 100.0
+        assert stats.mean_total_gmacs > 0.0
+
+    def test_pipeline_requires_resolutions(self, store, trained_backbone):
+        backbone, _ = trained_backbone
+        with pytest.raises(ValueError):
+            DynamicResolutionPipeline(
+                store=store, backbone=backbone,
+                policy=StaticResolutionPolicy(32), resolutions=(),
+            )

@@ -1,0 +1,115 @@
+"""Dataset profile, generator and split tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import SyntheticDataset
+from repro.data.profiles import CARS_LIKE, IMAGENET_LIKE, DatasetProfile, get_profile
+from repro.data.splits import DatasetSplits, kfold_shards, train_val_split
+
+
+class TestProfiles:
+    def test_presets_lookup(self):
+        assert get_profile("imagenet-like") is IMAGENET_LIKE
+        assert get_profile("cars-like") is CARS_LIKE
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            get_profile("mnist")
+
+    def test_cars_is_higher_resolution_and_shape_dominant(self):
+        """The relationships the paper reports between the two datasets."""
+        assert CARS_LIKE.storage_resolution_mean > IMAGENET_LIKE.storage_resolution_mean
+        assert CARS_LIKE.texture_weight < IMAGENET_LIKE.texture_weight
+        assert CARS_LIKE.detail_sensitivity < IMAGENET_LIKE.detail_sensitivity
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetProfile("bad", 1, 400, 50, 0.5, 0.1, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            DatasetProfile("bad", 10, 400, 50, 0.5, 0.1, 1.5, 1.0)
+        with pytest.raises(ValueError):
+            DatasetProfile("bad", 10, 8, 50, 0.5, 0.1, 0.5, 1.0)
+
+
+class TestSyntheticDataset:
+    def test_size_and_indexing(self, tiny_imagenet_like):
+        assert len(tiny_imagenet_like) == 48
+        sample = tiny_imagenet_like[0]
+        assert 0 <= sample.label < tiny_imagenet_like.profile.num_classes
+
+    def test_deterministic_generation(self):
+        a = SyntheticDataset(IMAGENET_LIKE, size=10, seed=3)
+        b = SyntheticDataset(IMAGENET_LIKE, size=10, seed=3)
+        assert [s.spec for s in a] == [s.spec for s in b]
+
+    def test_different_seeds_differ(self):
+        a = SyntheticDataset(IMAGENET_LIKE, size=10, seed=3)
+        b = SyntheticDataset(IMAGENET_LIKE, size=10, seed=4)
+        assert [s.spec for s in a] != [s.spec for s in b]
+
+    def test_labels_cover_multiple_classes(self, tiny_imagenet_like):
+        assert len(np.unique(tiny_imagenet_like.labels)) >= 3
+
+    def test_object_scales_follow_profile(self):
+        dataset = SyntheticDataset(IMAGENET_LIKE, size=400, seed=0)
+        assert dataset.object_scales.mean() == pytest.approx(
+            IMAGENET_LIKE.object_scale_mean, abs=0.05
+        )
+
+    def test_render_at_requested_resolution(self, tiny_imagenet_like):
+        sample = tiny_imagenet_like[1]
+        assert sample.render(64).shape == (64, 64, 3)
+        assert sample.render().shape[0] == sample.storage_resolution
+
+    def test_render_batch(self, tiny_imagenet_like):
+        images, labels = tiny_imagenet_like.render_batch([0, 1, 2], 48)
+        assert images.shape == (3, 48, 48, 3)
+        assert labels.shape == (3,)
+
+    def test_subset_returns_requested_samples(self, tiny_imagenet_like):
+        subset = tiny_imagenet_like.subset([5, 7])
+        assert [s.index for s in subset] == [5, 7]
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError):
+            SyntheticDataset(IMAGENET_LIKE, size=0)
+
+
+class TestSplits:
+    def test_split_partitions_indices(self):
+        splits = train_val_split(100, val_fraction=0.2, calibration_fraction=0.1, seed=0)
+        total = len(splits.train) + len(splits.validation) + len(splits.calibration)
+        assert total == 100
+        assert len(splits.validation) == 20
+        assert len(splits.calibration) == 10
+
+    def test_split_is_deterministic(self):
+        a = train_val_split(50, seed=1)
+        b = train_val_split(50, seed=1)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_overlapping_splits_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSplits(
+                train=np.array([0, 1]), validation=np.array([1]), calibration=np.array([])
+            )
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            train_val_split(10, val_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_val_split(10, val_fraction=0.6, calibration_fraction=0.5)
+
+    def test_kfold_shards_are_disjoint_and_cover(self):
+        indices = np.arange(23)
+        shards = kfold_shards(indices, 4, seed=0)
+        assert len(shards) == 4
+        combined = np.concatenate(shards)
+        assert sorted(combined.tolist()) == list(range(23))
+
+    def test_kfold_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            kfold_shards(np.arange(10), 1)
+        with pytest.raises(ValueError):
+            kfold_shards(np.arange(2), 4)

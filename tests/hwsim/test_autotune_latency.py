@@ -1,0 +1,95 @@
+"""Autotuner and end-to-end latency estimator tests."""
+
+import pytest
+
+from repro.hwsim.autotune import KernelTuner, TuningCache
+from repro.hwsim.latency import ModelLatencyEstimator
+from repro.hwsim.library import library_config
+from repro.hwsim.machine import AMD_2990WX, INTEL_4790K
+from repro.hwsim.perf_model import execution_time_seconds
+from repro.hwsim.workload import ConvWorkload
+from repro.nn.resnet import resnet_tiny
+
+WORKLOAD = ConvWorkload(1, 64, 128, 35, 35, kernel_size=3, stride=1, padding=1)
+
+
+class TestKernelTuner:
+    def test_tuned_never_worse_than_library(self):
+        """The tuner seeds with the library schedule, so it can only improve."""
+        for machine in (INTEL_4790K, AMD_2990WX):
+            tuner = KernelTuner(machine, strategy="evolutionary", trials=96, seed=1)
+            result = tuner.tune(WORKLOAD)
+            library_seconds = execution_time_seconds(
+                WORKLOAD, library_config(WORKLOAD, machine), machine
+            )
+            assert result.best_seconds <= library_seconds + 1e-12
+
+    def test_more_trials_never_hurt(self):
+        short = KernelTuner(INTEL_4790K, strategy="random", trials=16, seed=0).tune(WORKLOAD)
+        long = KernelTuner(INTEL_4790K, strategy="random", trials=256, seed=0).tune(WORKLOAD)
+        assert long.best_seconds <= short.best_seconds + 1e-12
+
+    def test_exhaustive_is_lower_bound_for_other_strategies(self):
+        exhaustive = KernelTuner(INTEL_4790K, strategy="exhaustive", trials=1).tune(WORKLOAD)
+        evolutionary = KernelTuner(
+            INTEL_4790K, strategy="evolutionary", trials=128, seed=0
+        ).tune(WORKLOAD)
+        assert exhaustive.best_seconds <= evolutionary.best_seconds + 1e-12
+
+    def test_results_are_cached(self):
+        cache = TuningCache()
+        tuner = KernelTuner(INTEL_4790K, trials=32, cache=cache)
+        first = tuner.tune(WORKLOAD)
+        second = tuner.tune(WORKLOAD)
+        assert first is second
+        assert len(cache) == 1
+
+    def test_best_config_is_legal(self):
+        result = KernelTuner(INTEL_4790K, trials=64, seed=2).tune(WORKLOAD)
+        assert result.best_config.tile_ow <= WORKLOAD.out_width
+        assert result.best_config.threads <= INTEL_4790K.inference_threads
+        assert result.best_gflops > 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTuner(INTEL_4790K, strategy="bayesian")
+        with pytest.raises(ValueError):
+            KernelTuner(INTEL_4790K, trials=0)
+
+    def test_tune_all_deduplicates(self):
+        tuner = KernelTuner(INTEL_4790K, trials=32)
+        results = tuner.tune_all([WORKLOAD, WORKLOAD])
+        assert len(results) == 1
+
+
+class TestModelLatencyEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        return ModelLatencyEstimator(INTEL_4790K, tuning_trials=48, seed=0)
+
+    @pytest.fixture(scope="class")
+    def tiny_model(self):
+        return resnet_tiny(num_classes=10, base_width=8)
+
+    def test_latency_positive_and_increases_with_resolution(self, estimator, tiny_model):
+        low = estimator.estimate(tiny_model, 64, kernel_source="tuned")
+        high = estimator.estimate(tiny_model, 128, kernel_source="tuned")
+        assert 0 < low.total_seconds < high.total_seconds
+
+    def test_tuned_not_slower_than_library(self, estimator, tiny_model):
+        tuned = estimator.estimate(tiny_model, 96, kernel_source="tuned")
+        library = estimator.estimate(tiny_model, 96, kernel_source="library")
+        assert tuned.total_seconds <= library.total_seconds
+
+    def test_throughput_derived_from_macs_and_latency(self, estimator, tiny_model):
+        estimate = estimator.estimate(tiny_model, 64)
+        expected = estimate.total_macs * 2 / estimate.total_seconds / 1e9
+        assert estimate.throughput_gflops == pytest.approx(expected)
+
+    def test_unknown_kernel_source_rejected(self, estimator, tiny_model):
+        with pytest.raises(ValueError):
+            estimator.estimate(tiny_model, 64, kernel_source="cudnn")
+
+    def test_compare_contains_both_sources(self, estimator, tiny_model):
+        table = estimator.compare(tiny_model, [64], model_name="tiny")
+        assert set(table[64].keys()) == {"tuned", "library"}

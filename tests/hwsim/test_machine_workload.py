@@ -1,0 +1,93 @@
+"""Machine model and workload extraction tests."""
+
+import pytest
+
+from repro.hwsim.machine import AMD_2990WX, INTEL_4790K, MachineModel, get_machine
+from repro.hwsim.workload import ConvWorkload, model_conv_workloads
+from repro.nn.resnet import resnet18
+
+
+class TestMachineModel:
+    def test_presets_lookup(self):
+        assert get_machine("4790K") is INTEL_4790K
+        assert get_machine("2990WX") is AMD_2990WX
+        with pytest.raises(KeyError):
+            get_machine("M1")
+
+    def test_peak_flops_formula(self):
+        machine = MachineModel(
+            name="test", num_cores=2, smt_per_core=2, clock_ghz=2.0, simd_lanes=8,
+            fma_units_per_core=2, l1_kb_per_core=32, l2_kb_per_core=256,
+            l3_mb_total=4.0, dram_bandwidth_gbps=20.0,
+        )
+        assert machine.peak_gflops == pytest.approx(2 * 2.0 * 8 * 2 * 2)
+
+    def test_2990wx_has_more_cores_and_peak(self):
+        assert AMD_2990WX.num_cores > INTEL_4790K.num_cores
+        assert AMD_2990WX.peak_gflops > INTEL_4790K.peak_gflops
+
+    def test_inference_threads_are_physical_cores(self):
+        assert INTEL_4790K.inference_threads == 4
+        assert AMD_2990WX.inference_threads == 32
+
+    def test_invalid_machines_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel("bad", 0, 2, 3.0, 8, 2, 32, 256, 8.0, 20.0)
+        with pytest.raises(ValueError):
+            MachineModel("bad", 4, 2, 3.0, 5, 2, 32, 256, 8.0, 20.0)
+
+
+class TestConvWorkload:
+    def test_output_dimensions(self):
+        workload = ConvWorkload(1, 64, 128, 56, 56, kernel_size=3, stride=2, padding=1)
+        assert workload.out_height == 28
+        assert workload.out_width == 28
+
+    def test_macs_formula(self):
+        workload = ConvWorkload(1, 64, 128, 28, 28, kernel_size=3, stride=1, padding=1)
+        assert workload.macs == 128 * 28 * 28 * 64 * 9
+        assert workload.flops == 2 * workload.macs
+
+    def test_depthwise_detection(self):
+        depthwise = ConvWorkload(1, 32, 32, 28, 28, 3, 1, 1, groups=32)
+        dense = ConvWorkload(1, 32, 32, 28, 28, 3, 1, 1)
+        assert depthwise.is_depthwise and not dense.is_depthwise
+
+    def test_signature_is_hashable_identity(self):
+        a = ConvWorkload(1, 64, 64, 56, 56, 3, 1, 1)
+        b = ConvWorkload(1, 64, 64, 56, 56, 3, 1, 1)
+        assert a.signature() == b.signature()
+        assert hash(a.signature()) == hash(b.signature())
+
+    def test_invalid_workloads_rejected(self):
+        with pytest.raises(ValueError):
+            ConvWorkload(1, 0, 64, 56, 56, 3, 1, 1)
+        with pytest.raises(ValueError):
+            ConvWorkload(1, 64, 63, 56, 56, 3, 1, 1, groups=2)
+
+
+class TestModelWorkloadExtraction:
+    def test_resnet18_workload_count(self):
+        workloads = model_conv_workloads(resnet18(), 224)
+        assert len(workloads) == 20
+
+    def test_workload_macs_sum_matches_flop_counter(self):
+        from repro.nn.flops import trace_model
+
+        model = resnet18()
+        workloads = model_conv_workloads(model, 224)
+        conv_macs = sum(w.macs for _, w in workloads)
+        traced = sum(
+            r.macs for r in trace_model(model, (1, 3, 224, 224)) if r.layer_type == "Conv2d"
+        )
+        assert conv_macs == traced
+
+    def test_resolution_changes_spatial_extents_only(self):
+        low = dict(model_conv_workloads(resnet18(), 112))
+        high = dict(model_conv_workloads(resnet18(), 224))
+        for name in low:
+            # Channels are architecture properties; spatial extents shrink with
+            # resolution (not necessarily by exactly 2x due to integer strides).
+            assert low[name].in_channels == high[name].in_channels
+            assert low[name].out_channels == high[name].out_channels
+            assert low[name].in_height < high[name].in_height

@@ -1,0 +1,127 @@
+"""Analytical performance model tests."""
+
+import pytest
+
+from repro.hwsim.kernels import KernelConfig, default_config, enumerate_configs
+from repro.hwsim.library import library_config
+from repro.hwsim.machine import AMD_2990WX, INTEL_4790K
+from repro.hwsim.perf_model import (
+    achieved_gflops,
+    execution_breakdown,
+    execution_time_seconds,
+    roofline_bound_gflops,
+    workload_bytes,
+)
+from repro.hwsim.workload import ConvWorkload
+
+RESNET_MID_LAYER = ConvWorkload(1, 128, 128, 28, 28, kernel_size=3, stride=1, padding=1)
+RESNET_EARLY_LAYER = ConvWorkload(1, 64, 64, 56, 56, kernel_size=3, stride=1, padding=1)
+DEPTHWISE_LAYER = ConvWorkload(1, 96, 96, 28, 28, kernel_size=3, stride=1, padding=1, groups=96)
+
+
+def good_config(machine, workload):
+    return KernelConfig(
+        tile_oc=16, tile_oh=1, tile_ow=min(14, workload.out_width),
+        vector_lanes=machine.simd_lanes, unroll=4, threads=machine.inference_threads,
+        vectorize="channels",
+    )
+
+
+class TestKernelConfigSpace:
+    def test_enumeration_respects_workload_extents(self):
+        configs = enumerate_configs(RESNET_MID_LAYER, threads=4, vector_lanes=8)
+        assert configs
+        assert all(c.tile_ow <= RESNET_MID_LAYER.out_width for c in configs)
+        assert all(c.tile_oc <= RESNET_MID_LAYER.out_channels for c in configs)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            KernelConfig(0, 1, 1, 8, 1, 1)
+        with pytest.raises(ValueError):
+            KernelConfig(1, 1, 1, 8, 1, 1, vectorize="rows")
+
+    def test_default_config_is_legal(self):
+        config = default_config(RESNET_MID_LAYER, threads=4, vector_lanes=8)
+        assert config.tile_ow <= RESNET_MID_LAYER.out_width
+
+
+class TestExecutionModel:
+    def test_time_is_positive_and_finite(self):
+        config = good_config(INTEL_4790K, RESNET_MID_LAYER)
+        seconds = execution_time_seconds(RESNET_MID_LAYER, config, INTEL_4790K)
+        assert 0 < seconds < 1.0
+
+    def test_breakdown_components_sum(self):
+        config = good_config(INTEL_4790K, RESNET_MID_LAYER)
+        breakdown = execution_breakdown(RESNET_MID_LAYER, config, INTEL_4790K)
+        assert breakdown.total_seconds == pytest.approx(
+            max(breakdown.compute_seconds, breakdown.memory_seconds)
+            + breakdown.overhead_seconds
+        )
+
+    def test_achieved_gflops_below_peak(self):
+        config = good_config(INTEL_4790K, RESNET_MID_LAYER)
+        assert achieved_gflops(RESNET_MID_LAYER, config, INTEL_4790K) < INTEL_4790K.peak_gflops
+
+    def test_more_cores_help_large_layers(self):
+        config_intel = good_config(INTEL_4790K, RESNET_EARLY_LAYER)
+        config_amd = good_config(AMD_2990WX, RESNET_EARLY_LAYER)
+        assert execution_time_seconds(
+            RESNET_EARLY_LAYER, config_amd, AMD_2990WX
+        ) < execution_time_seconds(RESNET_EARLY_LAYER, config_intel, INTEL_4790K)
+
+    def test_mismatched_tiles_are_slower(self):
+        """A schedule whose tiles do not divide the output must lose to one that does."""
+        matched = KernelConfig(16, 1, 14, 8, 4, 4, vectorize="channels")
+        mismatched = KernelConfig(16, 1, 16, 8, 4, 4, vectorize="channels")
+        workload = ConvWorkload(1, 128, 128, 21, 21, 3, 1, 1)  # 21 % 14 == 7, 21 % 16 == 5
+        assert execution_time_seconds(workload, matched, INTEL_4790K) < execution_time_seconds(
+            workload, mismatched, INTEL_4790K
+        )
+
+    def test_depthwise_layers_run_at_lower_efficiency(self):
+        config = good_config(INTEL_4790K, DEPTHWISE_LAYER)
+        dense_equivalent = ConvWorkload(1, 96, 96, 28, 28, 3, 1, 1)
+        dense_gflops = achieved_gflops(dense_equivalent, config, INTEL_4790K)
+        depthwise_gflops = achieved_gflops(DEPTHWISE_LAYER, config, INTEL_4790K)
+        assert depthwise_gflops < dense_gflops
+
+    def test_too_many_threads_hurt_tiny_layers(self):
+        tiny = ConvWorkload(1, 64, 64, 7, 7, kernel_size=1, stride=1, padding=0)
+        few = KernelConfig(16, 1, 7, 8, 4, 4, vectorize="channels")
+        many = KernelConfig(16, 1, 7, 8, 4, 32, vectorize="channels")
+        assert execution_time_seconds(tiny, few, AMD_2990WX) < execution_time_seconds(
+            tiny, many, AMD_2990WX
+        )
+
+    def test_workload_bytes(self):
+        inputs, weights, outputs = workload_bytes(RESNET_MID_LAYER)
+        assert inputs == 128 * 28 * 28 * 4
+        assert weights == 128 * 128 * 9 * 4
+        assert outputs == 128 * 28 * 28 * 4
+
+    def test_roofline_bound_respects_peak(self):
+        assert roofline_bound_gflops(RESNET_MID_LAYER, INTEL_4790K) <= INTEL_4790K.peak_gflops
+
+
+class TestLibraryConfig:
+    def test_library_uses_all_cores(self):
+        config = library_config(RESNET_MID_LAYER, AMD_2990WX)
+        assert config.threads == AMD_2990WX.inference_threads
+
+    def test_library_tiles_never_exceed_extents(self):
+        small = ConvWorkload(1, 512, 512, 4, 4, kernel_size=3, stride=1, padding=1)
+        config = library_config(small, INTEL_4790K)
+        assert config.tile_ow <= small.out_width
+
+    def test_library_good_at_224_shapes(self):
+        """At the 224-family extents the library should reach a decent fraction
+        of the best-known schedule (that is the premise of the paper's §VI)."""
+        from repro.hwsim.autotune import KernelTuner
+
+        tuner = KernelTuner(INTEL_4790K, strategy="evolutionary", trials=200, seed=0)
+        best = tuner.tune(RESNET_EARLY_LAYER).best_seconds
+        library = execution_time_seconds(
+            RESNET_EARLY_LAYER, library_config(RESNET_EARLY_LAYER, INTEL_4790K), INTEL_4790K
+        )
+        assert library <= 2.5 * best

@@ -1,0 +1,106 @@
+"""Crop and color-conversion tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.color import rgb_to_grayscale, rgb_to_ycbcr, ycbcr_to_rgb
+from repro.imaging.crop import center_crop, center_crop_ratio, crop, random_crop
+
+
+class TestCrop:
+    def test_crop_window_contents(self):
+        image = np.arange(36, dtype=np.float64).reshape(6, 6)
+        window = crop(image, top=1, left=2, height=3, width=2)
+        np.testing.assert_array_equal(window, image[1:4, 2:4])
+
+    def test_crop_out_of_bounds_rejected(self):
+        image = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            crop(image, 2, 2, 3, 3)
+        with pytest.raises(ValueError):
+            crop(image, 0, 0, 0, 1)
+
+    def test_crop_returns_copy(self):
+        image = np.zeros((4, 4))
+        window = crop(image, 0, 0, 2, 2)
+        window[...] = 1.0
+        assert image.sum() == 0.0
+
+    def test_center_crop_is_centered(self):
+        image = np.zeros((10, 10))
+        image[4:6, 4:6] = 1.0
+        window = center_crop(image, (2, 2))
+        np.testing.assert_array_equal(window, np.ones((2, 2)))
+
+    def test_center_crop_larger_than_image_clamps(self):
+        image = np.ones((5, 7, 3))
+        assert center_crop(image, (10, 10)).shape == (5, 7, 3)
+
+    def test_center_crop_ratio_area(self):
+        image = np.ones((100, 100, 3))
+        out = center_crop_ratio(image, 0.25)
+        area_ratio = out.shape[0] * out.shape[1] / (100 * 100)
+        assert area_ratio == pytest.approx(0.25, abs=0.01)
+
+    def test_center_crop_ratio_full_is_identity(self, sample_image):
+        out = center_crop_ratio(sample_image, 1.0)
+        np.testing.assert_array_equal(out, sample_image)
+
+    def test_center_crop_ratio_rejects_invalid(self, sample_image):
+        with pytest.raises(ValueError):
+            center_crop_ratio(sample_image, 0.0)
+        with pytest.raises(ValueError):
+            center_crop_ratio(sample_image, 1.2)
+
+    def test_random_crop_shape_and_bounds(self, sample_image):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            out = random_crop(sample_image, (32, 32), rng)
+            assert out.shape == (32, 32, 3)
+
+    def test_smaller_crop_magnifies_object(self):
+        """Cropping tighter must increase the object's share of the frame
+        (the scale mechanism of paper Fig 3)."""
+        from repro.imaging.synthetic import SceneSpec, render_scene
+
+        # Two scenes that differ only in the object's class share the same
+        # background, so the pixels where they differ mark the object region.
+        common = dict(object_scale=0.4, background_seed=5, noise_level=0.0)
+        scene_a = render_scene(SceneSpec(class_id=0, **common), 128)
+        scene_b = render_scene(SceneSpec(class_id=1, **common), 128)
+        object_mask = (np.abs(scene_a - scene_b).sum(axis=-1) > 0.05).astype(np.float64)
+
+        full_fraction = center_crop_ratio(object_mask[..., None], 1.0).mean()
+        tight_fraction = center_crop_ratio(object_mask[..., None], 0.25).mean()
+        assert tight_fraction > full_fraction
+
+
+class TestColor:
+    def test_ycbcr_roundtrip(self, sample_image):
+        roundtrip = ycbcr_to_rgb(rgb_to_ycbcr(sample_image))
+        np.testing.assert_allclose(roundtrip, sample_image, atol=1e-10)
+
+    def test_gray_input_has_neutral_chroma(self):
+        gray = np.full((8, 8, 3), 0.5)
+        ycbcr = rgb_to_ycbcr(gray)
+        np.testing.assert_allclose(ycbcr[..., 0], 0.5, atol=1e-12)
+        np.testing.assert_allclose(ycbcr[..., 1:], 0.5, atol=1e-12)
+
+    def test_luma_weights_sum_to_one(self):
+        white = np.ones((2, 2, 3))
+        np.testing.assert_allclose(rgb_to_ycbcr(white)[..., 0], 1.0, atol=1e-12)
+
+    def test_grayscale_matches_luma(self, sample_image):
+        np.testing.assert_allclose(
+            rgb_to_grayscale(sample_image), rgb_to_ycbcr(sample_image)[..., 0], atol=1e-12
+        )
+
+    def test_grayscale_passthrough_for_2d(self):
+        image = np.random.default_rng(0).random((5, 5))
+        np.testing.assert_array_equal(rgb_to_grayscale(image), image)
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            rgb_to_ycbcr(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            ycbcr_to_rgb(np.zeros((4, 4, 4)))

@@ -1,0 +1,73 @@
+"""PSNR and SSIM tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.metrics import mse, psnr, ssim
+
+
+class TestMSEAndPSNR:
+    def test_identical_images(self, sample_image):
+        assert mse(sample_image, sample_image) == 0.0
+        assert psnr(sample_image, sample_image) == float("inf")
+
+    def test_known_mse(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_psnr_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0, abs=1e-9)
+
+    def test_psnr_decreases_with_noise(self, sample_image, rng):
+        small = np.clip(sample_image + rng.normal(0, 0.01, sample_image.shape), 0, 1)
+        large = np.clip(sample_image + rng.normal(0, 0.10, sample_image.shape), 0, 1)
+        assert psnr(sample_image, small) > psnr(sample_image, large)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((4, 4)), np.zeros((5, 5)))
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self, sample_image):
+        assert ssim(sample_image, sample_image) == pytest.approx(1.0)
+
+    def test_range_and_monotonic_degradation(self, sample_image, rng):
+        values = []
+        for sigma in (0.02, 0.08, 0.2):
+            noisy = np.clip(sample_image + rng.normal(0, sigma, sample_image.shape), 0, 1)
+            values.append(ssim(sample_image, noisy))
+        assert all(-1.0 <= v <= 1.0 for v in values)
+        assert values[0] > values[1] > values[2]
+
+    def test_symmetry(self, sample_image, rng):
+        other = np.clip(sample_image + rng.normal(0, 0.05, sample_image.shape), 0, 1)
+        assert ssim(sample_image, other) == pytest.approx(ssim(other, sample_image), abs=1e-9)
+
+    def test_constant_shift_scores_high_but_below_one(self):
+        a = np.tile(np.linspace(0, 1, 32), (32, 1))
+        b = np.clip(a + 0.05, 0, 1)
+        value = ssim(a, b)
+        assert 0.7 < value < 1.0
+
+    def test_structural_destruction_scores_low(self, rng):
+        structured = np.tile(np.linspace(0, 1, 64), (64, 1))
+        noise = rng.random((64, 64))
+        assert ssim(structured, noise) < 0.3
+
+    def test_tiny_image_does_not_crash(self):
+        a = np.random.default_rng(0).random((4, 4))
+        assert -1.0 <= ssim(a, a) <= 1.0
+
+    def test_blur_scores_lower_than_original(self, sample_image):
+        from scipy.ndimage import uniform_filter
+
+        blurred = uniform_filter(sample_image, size=(7, 7, 1))
+        assert ssim(sample_image, blurred) < 0.98
+
+    def test_shape_mismatch_rejected(self, sample_image):
+        with pytest.raises(ValueError):
+            ssim(sample_image, sample_image[:-1])

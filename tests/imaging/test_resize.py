@@ -1,0 +1,87 @@
+"""Resize tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.resize import resize, resize_shortest_side
+
+
+@pytest.fixture
+def gradient_image():
+    """A smooth horizontal gradient: easy to validate interpolation against."""
+    x = np.linspace(0.0, 1.0, 64)
+    return np.tile(x, (32, 1))
+
+
+class TestResizeBasics:
+    @pytest.mark.parametrize("method", ["nearest", "bilinear", "bicubic"])
+    def test_output_shape(self, gradient_image, method):
+        out = resize(gradient_image, (16, 24), method=method)
+        assert out.shape == (16, 24)
+
+    @pytest.mark.parametrize("method", ["nearest", "bilinear", "bicubic"])
+    def test_color_image_keeps_channels(self, sample_image, method):
+        out = resize(sample_image, (48, 40), method=method)
+        assert out.shape == (48, 40, 3)
+
+    def test_same_size_is_copy(self, sample_image):
+        out = resize(sample_image, sample_image.shape[:2])
+        np.testing.assert_array_equal(out, sample_image)
+        assert out is not sample_image
+
+    def test_int_size_means_square(self, sample_image):
+        assert resize(sample_image, 30).shape == (30, 30, 3)
+
+    def test_rejects_bad_inputs(self, sample_image):
+        with pytest.raises(ValueError):
+            resize(sample_image, (0, 10))
+        with pytest.raises(ValueError):
+            resize(sample_image, (10, 10), method="lanczos")
+        with pytest.raises(ValueError):
+            resize(np.zeros((2, 2, 2, 2)), (4, 4))
+
+
+class TestResizeValues:
+    def test_constant_image_stays_constant(self):
+        image = np.full((20, 20), 0.37)
+        for method in ("nearest", "bilinear", "bicubic"):
+            out = resize(image, (37, 11), method=method)
+            np.testing.assert_allclose(out, 0.37, atol=1e-9)
+
+    def test_bilinear_preserves_gradient_mean(self, gradient_image):
+        out = resize(gradient_image, (16, 32), method="bilinear")
+        assert out.mean() == pytest.approx(gradient_image.mean(), abs=0.01)
+
+    def test_downsample_then_upsample_approximates_original(self, gradient_image):
+        down = resize(gradient_image, (16, 32), method="bilinear")
+        up = resize(down, gradient_image.shape[:2], method="bilinear")
+        assert np.abs(up - gradient_image).mean() < 0.02
+
+    def test_bicubic_does_not_overshoot_range(self):
+        # A step edge is the classic ringing case; output must stay in range.
+        image = np.zeros((16, 16))
+        image[:, 8:] = 1.0
+        out = resize(image, (33, 29), method="bicubic")
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_nearest_preserves_exact_values(self):
+        image = np.random.default_rng(0).choice([0.0, 0.25, 0.5, 1.0], size=(10, 10))
+        out = resize(image, (23, 17), method="nearest")
+        assert set(np.unique(out)).issubset(set(np.unique(image)))
+
+
+class TestShortestSide:
+    def test_landscape_image(self):
+        image = np.zeros((100, 200, 3))
+        out = resize_shortest_side(image, 50)
+        assert out.shape == (50, 100, 3)
+
+    def test_portrait_image(self):
+        image = np.zeros((200, 100, 3))
+        out = resize_shortest_side(image, 50)
+        assert out.shape == (100, 50, 3)
+
+    def test_aspect_ratio_preserved(self):
+        image = np.zeros((300, 450, 3))
+        out = resize_shortest_side(image, 120)
+        assert out.shape[1] / out.shape[0] == pytest.approx(1.5, abs=0.02)

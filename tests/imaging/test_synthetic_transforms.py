@@ -1,0 +1,116 @@
+"""Synthetic scene generator and preprocessing tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.synthetic import SceneSpec, render_scene
+from repro.imaging.transforms import (
+    IMAGENET_MEAN,
+    IMAGENET_STD,
+    InferencePreprocessor,
+    batch_to_model_input,
+    to_model_input,
+)
+
+
+class TestSceneSpec:
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            SceneSpec(class_id=0, object_scale=0.01)
+
+    def test_rejects_bad_class(self):
+        with pytest.raises(ValueError):
+            SceneSpec(class_id=12, object_scale=0.5, num_classes=10)
+
+
+class TestRenderScene:
+    def test_output_shape_and_range(self):
+        image = render_scene(SceneSpec(class_id=1, object_scale=0.5), 64)
+        assert image.shape == (64, 64, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_deterministic_for_same_spec(self):
+        spec = SceneSpec(class_id=3, object_scale=0.4, background_seed=9)
+        np.testing.assert_array_equal(render_scene(spec, 48), render_scene(spec, 48))
+
+    def test_different_classes_look_different(self):
+        a = render_scene(SceneSpec(class_id=0, object_scale=0.5), 64)
+        b = render_scene(SceneSpec(class_id=1, object_scale=0.5), 64)
+        assert np.abs(a - b).mean() > 0.01
+
+    def test_object_scale_controls_object_extent(self):
+        def foreground_fraction(scale):
+            image = render_scene(
+                SceneSpec(class_id=0, object_scale=scale, noise_level=0.0), 96
+            )
+            background = render_scene(
+                SceneSpec(class_id=0, object_scale=0.05, noise_level=0.0), 96
+            )
+            return float((np.abs(image - background).sum(axis=-1) > 0.1).mean())
+
+        assert foreground_fraction(0.8) > foreground_fraction(0.3)
+
+    def test_higher_resolution_adds_detail(self):
+        """Rendering at higher resolution must reveal texture energy that a
+        low-resolution render cannot represent (the paper's detail axis)."""
+        from repro.imaging.resize import resize
+
+        spec = SceneSpec(class_id=2, object_scale=0.6, texture_weight=0.9, noise_level=0.0)
+        high = render_scene(spec, 192)
+        low_upsampled = resize(render_scene(spec, 48), (192, 192), method="bilinear")
+        # High-frequency residual energy of the true high-res render is larger.
+        residual = np.abs(high - low_upsampled).mean()
+        assert residual > 0.01
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError):
+            render_scene(SceneSpec(class_id=0, object_scale=0.5), 4)
+
+
+class TestToModelInput:
+    def test_shape_and_layout(self, sample_image):
+        tensor = to_model_input(sample_image)
+        assert tensor.shape == (1, 3, *sample_image.shape[:2])
+
+    def test_normalization_applied(self):
+        image = np.ones((8, 8, 3)) * IMAGENET_MEAN
+        tensor = to_model_input(image)
+        np.testing.assert_allclose(tensor, 0.0, atol=1e-12)
+
+    def test_no_normalization_preserves_values(self, sample_image):
+        tensor = to_model_input(sample_image, normalize=False)
+        np.testing.assert_allclose(tensor[0].transpose(1, 2, 0), sample_image)
+
+    def test_rejects_grayscale(self):
+        with pytest.raises(ValueError):
+            to_model_input(np.zeros((8, 8)))
+
+    def test_batch_stacking(self, sample_image):
+        batch = batch_to_model_input([sample_image, sample_image])
+        assert batch.shape == (2, 3, *sample_image.shape[:2])
+
+
+class TestInferencePreprocessor:
+    def test_output_resolution(self, sample_image):
+        preprocessor = InferencePreprocessor(crop_ratio=0.75)
+        tensor = preprocessor(sample_image, 64)
+        assert tensor.shape == (1, 3, 64, 64)
+
+    def test_crop_ratio_changes_content(self, large_sample_image):
+        tight = InferencePreprocessor(crop_ratio=0.25)
+        full = InferencePreprocessor(crop_ratio=1.0)
+        assert not np.allclose(
+            tight(large_sample_image, 64), full(large_sample_image, 64)
+        )
+
+    def test_preprocess_hwc_returns_unnormalized_image(self, sample_image):
+        preprocessor = InferencePreprocessor()
+        hwc = preprocessor.preprocess_hwc(sample_image, 48)
+        assert hwc.shape == (48, 48, 3)
+        assert hwc.min() >= 0.0 and hwc.max() <= 1.0
+
+    def test_normalization_statistics(self, sample_image):
+        preprocessor = InferencePreprocessor(normalize=True)
+        tensor = preprocessor(sample_image, 32)
+        manual = (preprocessor.preprocess_hwc(sample_image, 32) - IMAGENET_MEAN) / IMAGENET_STD
+        np.testing.assert_allclose(tensor[0], manual.transpose(2, 0, 1))

@@ -1,0 +1,138 @@
+"""Integration tests checking the paper's headline claims end to end.
+
+Each test reproduces (a scaled-down version of) one of the paper's claims
+using the same builders the benchmark harness uses.  Absolute values are
+surrogate/model estimates; the asserted facts are the claims' *shapes*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    build_dynamic_point,
+    build_fig7_series,
+    build_read_savings_table,
+    build_table2_rows,
+    speedup_summary,
+)
+from repro.hwsim.machine import AMD_2990WX, INTEL_4790K
+from repro.surrogate.anchors import RESOLUTIONS
+from repro.surrogate.static_accuracy import StaticAccuracyModel
+
+
+class TestKernelTuningClaims:
+    """§VII.a and the second bullet of the contributions list."""
+
+    @pytest.fixture(scope="class")
+    def table2(self):
+        return build_table2_rows(
+            (INTEL_4790K, AMD_2990WX), resolutions=(112, 224, 280, 448), tuning_trials=64
+        )
+
+    def test_tuned_280_faster_than_library_224(self, table2):
+        """Headline: tuned inference at 280 is 1.2x-1.7x faster than the
+        library at 224 (we accept anywhere in/above that band)."""
+        for machine_name in ("4790K", "2990WX"):
+            summary = speedup_summary(table2[machine_name])
+            assert summary["tuned280_vs_library224"] >= 1.15
+
+    def test_tuning_realizes_more_of_the_ideal_speedup(self, table2):
+        """§VII.a: from 448 to 112 the ideal speedup is ~16x; the library only
+        realizes a fraction of it, tuning realizes much more."""
+        for machine_name in ("4790K", "2990WX"):
+            summary = speedup_summary(table2[machine_name])
+            assert summary["library_speedup"] < summary["tuned_speedup"] <= 16.5
+            assert summary["tuned_speedup"] > 0.3 * summary["ideal_speedup"]
+
+    def test_intel_realizes_more_speedup_than_amd(self, table2):
+        """The 32-core part cannot be filled by low-resolution layers, so its
+        realized speedup is lower (paper: 9.4/11.4 vs 7.7/6.7)."""
+        intel = speedup_summary(table2["4790K"])["tuned_speedup"]
+        amd = speedup_summary(table2["2990WX"])["tuned_speedup"]
+        assert amd < intel
+
+    def test_tuned_throughput_higher_everywhere(self):
+        series = build_fig7_series(
+            "resnet50", AMD_2990WX, resolutions=(112, 224, 448), tuning_trials=64
+        )
+        for resolution in (112, 224, 448):
+            assert series["tuned"][resolution] > series["library"][resolution]
+
+
+class TestStorageClaims:
+    """§VII.b storage calibration and the 20-30% read savings claim."""
+
+    @pytest.fixture(scope="class")
+    def cars_table(self):
+        return build_read_savings_table(
+            "cars", "resnet50", crop_ratios=(0.75,), resolutions=(112, 224, 448),
+            num_images=6, oracle_images=400,
+        )
+
+    @pytest.fixture(scope="class")
+    def imagenet_table(self):
+        return build_read_savings_table(
+            "imagenet", "resnet18", crop_ratios=(0.75,), resolutions=(112, 224, 448),
+            num_images=6, oracle_images=400,
+        )
+
+    def test_twenty_to_thirty_percent_savings_available(self, cars_table, imagenet_table):
+        """Headline: 20-30% of image data can be ignored without losing accuracy."""
+        best_savings = max(
+            row.read_savings_percent for row in cars_table + imagenet_table
+        )
+        assert best_savings >= 20.0
+
+    def test_accuracy_loss_stays_within_budget(self, cars_table, imagenet_table):
+        for row in cars_table + imagenet_table:
+            if row.resolution == "dynamic":
+                continue
+            loss = row.default_accuracy[0.75] - row.calibrated_accuracy[0.75]
+            assert loss <= 0.5  # paper highlights losses above 0.1%; hard-fail at 0.5
+
+    def test_cars_saves_more_than_imagenet(self, cars_table, imagenet_table):
+        """Table IV vs Table III: the shape-dominant dataset saves much more."""
+        cars_mean = np.mean([row.read_savings_percent for row in cars_table])
+        imagenet_mean = np.mean([row.read_savings_percent for row in imagenet_table])
+        assert cars_mean >= imagenet_mean
+
+
+class TestDynamicResolutionClaims:
+    """§VII.b accuracy-vs-FLOPs and the robustness-to-crop claim."""
+
+    def test_dynamic_tracks_best_static_across_crops(self):
+        """The dynamic pipeline must stay near the apex of every static curve
+        without knowing the crop in advance — the paper's alternative to
+        fine-tuning for a known object-scale distribution."""
+        from repro.analysis.experiments import model_gflops, scale_model_gflops
+
+        static = StaticAccuracyModel("imagenet", "resnet18")
+        for crop in (0.25, 0.56, 0.75):
+            dynamic = build_dynamic_point(
+                "imagenet", "resnet18", crop, num_images=800, seed=0
+            )
+            best_resolution, best_accuracy = static.best_static(crop)
+            assert dynamic.accuracy >= best_accuracy - 2.0
+            # And it must not cost more than always running the apex resolution.
+            apex_cost = model_gflops("resnet18", best_resolution) + scale_model_gflops()
+            assert dynamic.gflops <= apex_cost + 1e-9
+
+    def test_static_baseline_is_crop_sensitive(self):
+        """Without dynamic resolution, the best fixed resolution changes a lot
+        with crop size (the problem the paper sets up in Fig 3/Table I)."""
+        static = StaticAccuracyModel("cars", "resnet18")
+        best_small, _ = static.best_static(0.25)
+        best_large, _ = static.best_static(0.75)
+        assert best_small <= 224 < best_large or best_small < best_large
+
+    def test_scale_model_overhead_is_small(self):
+        """§VII.c: the scale model adds only a small fraction of backbone cost."""
+        from repro.analysis.experiments import model_gflops, scale_model_gflops
+
+        overhead = scale_model_gflops() / model_gflops("resnet50", 224)
+        assert overhead < 0.05
+
+    def test_dynamic_pipeline_spreads_choices(self):
+        point = build_dynamic_point("cars", "resnet18", 0.56, num_images=600, seed=3)
+        assert len(point.resolution_histogram) >= 3
+        assert sum(point.resolution_histogram.values()) == 600

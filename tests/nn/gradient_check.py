@@ -1,0 +1,67 @@
+"""Numerical gradient checking helpers shared by the layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def numerical_gradient(func, array: np.ndarray, epsilon: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of a scalar function w.r.t. ``array`` (in place)."""
+    gradient = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + epsilon
+        plus = func()
+        array[index] = original - epsilon
+        minus = func()
+        array[index] = original
+        gradient[index] = (plus - minus) / (2 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+def check_layer_gradients(
+    layer: Module,
+    input_array: np.ndarray,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+    check_params: bool = True,
+) -> None:
+    """Assert analytic gradients match numerical ones for inputs and parameters.
+
+    The scalar objective is ``sum(forward(x) * weights)`` with fixed random
+    weights, which exercises every output element.
+    """
+    rng = np.random.default_rng(0)
+    output = layer.forward(input_array)
+    mix = rng.normal(size=output.shape)
+
+    def objective() -> float:
+        return float(np.sum(layer.forward(input_array) * mix))
+
+    layer.zero_grad()
+    layer.forward(input_array)
+    analytic_input_grad = layer.backward(mix)
+
+    numeric_input_grad = numerical_gradient(objective, input_array)
+    np.testing.assert_allclose(
+        analytic_input_grad, numeric_input_grad, atol=atol, rtol=rtol,
+        err_msg=f"input gradient mismatch for {type(layer).__name__}",
+    )
+
+    if not check_params:
+        return
+    for name, parameter in layer.named_parameters():
+        layer.zero_grad()
+        layer.forward(input_array)
+        layer.backward(mix)
+        analytic = parameter.grad.copy()
+        numeric = numerical_gradient(objective, parameter.value)
+        np.testing.assert_allclose(
+            analytic, numeric, atol=atol, rtol=rtol,
+            err_msg=f"parameter gradient mismatch for {type(layer).__name__}.{name}",
+        )

@@ -1,0 +1,117 @@
+"""ResNet and MobileNetV2 architecture tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.mobilenet import MobileNetV2, mobilenet_tiny, mobilenet_v2
+from repro.nn.resnet import ResNet, resnet18, resnet50, resnet_tiny
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+@pytest.fixture(scope="module")
+def tiny_resnet():
+    return resnet_tiny(num_classes=5, base_width=4)
+
+
+@pytest.fixture(scope="module")
+def tiny_mobilenet():
+    return mobilenet_tiny(num_classes=5)
+
+
+class TestResNetStructure:
+    def test_resnet18_parameter_count_matches_reference(self):
+        # torchvision's resnet18 has 11.69M parameters.
+        model = resnet18()
+        assert sum(p.size for p in model.parameters()) == pytest.approx(11.69e6, rel=0.01)
+
+    def test_resnet50_parameter_count_matches_reference(self):
+        # torchvision's resnet50 has 25.56M parameters.
+        model = resnet50()
+        assert sum(p.size for p in model.parameters()) == pytest.approx(25.56e6, rel=0.01)
+
+    def test_stage_channel_progression(self):
+        model = resnet18()
+        assert model.stage1[0].conv1.in_channels == 64
+        assert model.stage4[0].conv1.out_channels == 512
+        assert model.feature_dim == 512
+
+    def test_resnet50_uses_bottleneck_expansion(self):
+        model = resnet50()
+        assert model.feature_dim == 2048
+
+
+class TestResNetForward:
+    def test_tiny_resnet_output_shape(self, tiny_resnet, rng):
+        out = tiny_resnet(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 5)
+
+    def test_input_shape_agnostic(self, tiny_resnet, rng):
+        """The same model accepts different resolutions (the paper's key requirement)."""
+        for resolution in (32, 48, 64):
+            out = tiny_resnet(rng.normal(size=(1, 3, resolution, resolution)))
+            assert out.shape == (1, 5)
+
+    def test_backward_produces_input_gradient(self, tiny_resnet, rng):
+        x = rng.normal(size=(2, 3, 32, 32))
+        out = tiny_resnet(x)
+        grad = tiny_resnet.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert np.isfinite(grad).all()
+
+    def test_forward_features_returns_pooled_vector(self, tiny_resnet, rng):
+        features = tiny_resnet.forward_features(rng.normal(size=(2, 3, 32, 32)))
+        assert features.shape == (2, tiny_resnet.feature_dim)
+
+
+class TestMobileNet:
+    def test_mobilenet_v2_parameter_count_matches_reference(self):
+        # torchvision's mobilenet_v2 has ~3.50M parameters.
+        model = mobilenet_v2()
+        assert sum(p.size for p in model.parameters()) == pytest.approx(3.50e6, rel=0.02)
+
+    def test_tiny_mobilenet_output_shape(self, tiny_mobilenet, rng):
+        out = tiny_mobilenet(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 5)
+
+    def test_input_shape_agnostic(self, tiny_mobilenet, rng):
+        for resolution in (32, 64):
+            out = tiny_mobilenet(rng.normal(size=(1, 3, resolution, resolution)))
+            assert out.shape == (1, 5)
+
+    def test_backward_produces_input_gradient(self, tiny_mobilenet, rng):
+        x = rng.normal(size=(1, 3, 32, 32))
+        out = tiny_mobilenet(x)
+        grad = tiny_mobilenet.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert np.isfinite(grad).all()
+
+    def test_width_multiplier_scales_channels(self):
+        wide = MobileNetV2(width_mult=1.0)
+        narrow = MobileNetV2(width_mult=0.5)
+        assert sum(p.size for p in narrow.parameters()) < sum(
+            p.size for p in wide.parameters()
+        )
+
+
+class TestTrainability:
+    def test_tiny_resnet_overfits_small_batch(self, rng):
+        """A few gradient steps on one batch must reduce the loss substantially."""
+        from repro.nn.losses import CrossEntropyLoss
+        from repro.nn.optim import SGD
+
+        model = resnet_tiny(num_classes=3, base_width=4, seed=1)
+        x = rng.normal(size=(6, 3, 32, 32))
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        first_loss = None
+        for _ in range(15):
+            logits = model(x)
+            loss = loss_fn(logits, labels)
+            if first_loss is None:
+                first_loss = loss
+            optimizer.zero_grad()
+            model.backward(loss_fn.backward())
+            optimizer.step()
+        assert loss < first_loss * 0.5

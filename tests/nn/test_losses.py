@@ -1,0 +1,108 @@
+"""Loss function tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    BinaryCrossEntropyLoss,
+    CrossEntropyLoss,
+    log_softmax,
+    sigmoid,
+    softmax,
+)
+from tests.nn.gradient_check import numerical_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(4, 7))
+        probs = softmax(logits, axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_invariant_to_constant_shift(self):
+        logits = np.random.default_rng(0).normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = np.random.default_rng(0).normal(size=(3, 5))
+        np.testing.assert_allclose(log_softmax(logits), np.log(softmax(logits)), atol=1e-12)
+
+    def test_no_overflow_for_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_gives_small_loss(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.array([[20.0, 0.0, 0.0], [0.0, 20.0, 0.0]])
+        assert loss_fn(logits, np.array([0, 1])) < 1e-6
+
+    def test_uniform_prediction_gives_log_num_classes(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        assert loss_fn(logits, np.zeros(4, dtype=int)) == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numerical(self):
+        loss_fn = CrossEntropyLoss()
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+
+        loss_fn(logits, labels)
+        analytic = loss_fn.backward()
+        numeric = numerical_gradient(lambda: loss_fn(logits, labels), logits)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_rejects_shape_mismatch(self):
+        loss_fn = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss_fn(np.zeros((3, 4)), np.zeros(2, dtype=int))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_multilabel_prediction(self):
+        loss_fn = BinaryCrossEntropyLoss()
+        logits = np.array([[30.0, -30.0], [-30.0, 30.0]])
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert loss_fn(logits, targets) < 1e-9
+
+    def test_chance_prediction_gives_log2(self):
+        loss_fn = BinaryCrossEntropyLoss()
+        logits = np.zeros((3, 4))
+        targets = np.random.default_rng(0).integers(0, 2, size=(3, 4)).astype(float)
+        assert loss_fn(logits, targets) == pytest.approx(np.log(2))
+
+    def test_gradient_matches_numerical(self):
+        loss_fn = BinaryCrossEntropyLoss()
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 3))
+        targets = rng.integers(0, 2, size=(4, 3)).astype(float)
+
+        loss_fn(logits, targets)
+        analytic = loss_fn.backward()
+        numeric = numerical_gradient(lambda: loss_fn(logits, targets), logits)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_no_overflow_for_extreme_logits(self):
+        loss_fn = BinaryCrossEntropyLoss()
+        value = loss_fn(np.array([[1e4, -1e4]]), np.array([[0.0, 1.0]]))
+        assert np.isfinite(value)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BinaryCrossEntropyLoss()(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestSigmoid:
+    def test_matches_definition(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(x), 1.0 / (1.0 + np.exp(-x)), atol=1e-12)
+
+    def test_extreme_values(self):
+        out = sigmoid(np.array([-1e6, 1e6]))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)

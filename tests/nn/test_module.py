@@ -1,0 +1,113 @@
+"""Module container and state-dict tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+
+class TestParameterRegistration:
+    def test_parameters_discovered_recursively(self):
+        model = Sequential(Conv2d(3, 4, 3), ReLU(), Linear(4, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layer0.weight" in names
+        assert "layer2.bias" in names
+        assert len(names) == 4  # conv w/b + linear w/b
+
+    def test_num_parameters_counts_elements(self):
+        layer = Linear(10, 5)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_zero_grad_resets_all(self):
+        model = Sequential(Linear(3, 3), Linear(3, 2))
+        for parameter in model.parameters():
+            parameter.grad[...] = 1.0
+        model.zero_grad()
+        assert all(np.all(p.grad == 0.0) for p in model.parameters())
+
+
+class TestTrainEvalMode:
+    def test_mode_propagates_to_children(self):
+        model = Sequential(BatchNorm2d(3), Sequential(BatchNorm2d(3)))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+
+class TestSequential:
+    def test_forward_applies_in_order(self):
+        double = Linear(2, 2, bias=False)
+        double.weight.value[...] = 2.0 * np.eye(2)
+        triple = Linear(2, 2, bias=False)
+        triple.weight.value[...] = 3.0 * np.eye(2)
+        model = Sequential(double, triple)
+        np.testing.assert_allclose(model.forward(np.eye(2)), 6.0 * np.eye(2))
+
+    def test_len_iter_getitem(self):
+        layers = [ReLU(), ReLU(), ReLU()]
+        model = Sequential(*layers)
+        assert len(model) == 3
+        assert list(model) == layers
+        assert model[1] is layers[1]
+
+    def test_append(self):
+        model = Sequential(ReLU())
+        model.append(ReLU())
+        assert len(model) == 2
+
+    def test_backward_reverses_order(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        x = np.random.default_rng(0).normal(size=(2, 3))
+        out = model.forward(x)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestStateDict:
+    def test_roundtrip_preserves_values(self):
+        model = Sequential(Conv2d(3, 4, 3), BatchNorm2d(4), Linear(4, 2))
+        state = model.state_dict()
+        clone = Sequential(Conv2d(3, 4, 3), BatchNorm2d(4), Linear(4, 2))
+        clone.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            np.testing.assert_allclose(a.value, b.value)
+
+    def test_state_dict_includes_buffers(self):
+        model = BatchNorm2d(3)
+        assert "running_mean" in model.state_dict()
+
+    def test_load_rejects_unknown_key(self):
+        model = Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros(2)})
+
+    def test_load_rejects_shape_mismatch(self):
+        model = Linear(2, 2)
+        with pytest.raises(ValueError):
+            model.load_state_dict({"weight": np.zeros((3, 3))})
+
+    def test_checkpoint_file_roundtrip(self, tmp_path):
+        model = Sequential(Linear(4, 3), ReLU(), Linear(3, 2))
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        clone = Sequential(Linear(4, 3), ReLU(), Linear(3, 2))
+        load_checkpoint(clone, path)
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        np.testing.assert_allclose(model.forward(x), clone.forward(x))
+
+
+class TestModuleErrors:
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(np.zeros(1))
+
+    def test_parameter_shape_and_size(self):
+        parameter = Parameter(np.zeros((2, 3)))
+        assert parameter.shape == (2, 3)
+        assert parameter.size == 6

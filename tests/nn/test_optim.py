@@ -1,0 +1,111 @@
+"""Optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, LRScheduler, Optimizer
+
+
+def quadratic_problem(dim: int = 5, seed: int = 0):
+    """A convex quadratic: minimize ||x - target||^2."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=dim)
+    parameter = Parameter(np.zeros(dim))
+
+    def step_gradient() -> float:
+        parameter.grad[...] = 2.0 * (parameter.value - target)
+        return float(np.sum((parameter.value - target) ** 2))
+
+    return parameter, target, step_gradient
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self):
+        parameter, target, grad = quadratic_problem()
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            grad()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.value, target, atol=1e-4)
+
+    def test_momentum_accelerates_convergence(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            parameter, target, grad = quadratic_problem()
+            optimizer = SGD([parameter], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                optimizer.zero_grad()
+                loss = grad()
+                optimizer.step()
+            losses[momentum] = loss
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.ones(3))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=1.0)
+        optimizer.step()  # gradient is zero; only decay applies
+        np.testing.assert_allclose(parameter.value, 0.9)
+
+    def test_single_step_matches_manual_update(self):
+        parameter = Parameter(np.array([1.0, 2.0]))
+        parameter.grad[...] = np.array([0.5, -1.0])
+        SGD([parameter], lr=0.2).step()
+        np.testing.assert_allclose(parameter.value, [0.9, 2.2])
+
+    def test_rejects_bad_hyperparameters(self):
+        parameter = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.1, nesterov=True)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter, target, grad = quadratic_problem()
+        optimizer = Adam([parameter], lr=0.05)
+        for _ in range(500):
+            optimizer.zero_grad()
+            grad()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.value, target, atol=1e-3)
+
+    def test_first_step_size_is_learning_rate(self):
+        # Adam's bias correction makes the first update magnitude ~= lr.
+        parameter = Parameter(np.array([0.0]))
+        parameter.grad[...] = np.array([3.7])
+        Adam([parameter], lr=0.01).step()
+        assert abs(parameter.value[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_skips_non_trainable_parameters(self):
+        frozen = Parameter(np.ones(2), requires_grad=False)
+        trainable = Parameter(np.ones(2))
+        optimizer = Adam([frozen, trainable], lr=0.1)
+        assert optimizer.parameters == [trainable]
+
+
+class TestScheduler:
+    def test_step_decay(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = SGD([parameter], lr=1.0)
+        scheduler = LRScheduler(optimizer, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+
+class TestOptimizerBase:
+    def test_requires_trainable_parameters(self):
+        frozen = Parameter(np.ones(2), requires_grad=False)
+        with pytest.raises(ValueError):
+            Optimizer([frozen])
+
+    def test_zero_grad_clears_gradients(self):
+        parameter = Parameter(np.ones(3))
+        parameter.grad[...] = 5.0
+        SGD([parameter], lr=0.1).zero_grad()
+        np.testing.assert_allclose(parameter.grad, 0.0)

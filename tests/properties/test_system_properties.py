@@ -1,0 +1,139 @@
+"""Property-based tests for the hardware model, pareto analysis and surrogate."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import ParetoPoint, pareto_frontier
+from repro.hwsim.kernels import KernelConfig
+from repro.hwsim.machine import AMD_2990WX, INTEL_4790K
+from repro.hwsim.perf_model import execution_time_seconds
+from repro.hwsim.workload import ConvWorkload
+from repro.surrogate.quality import QualityDegradationModel
+from repro.surrogate.static_accuracy import StaticAccuracyModel
+
+_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@st.composite
+def conv_workloads(draw):
+    return ConvWorkload(
+        batch=1,
+        in_channels=draw(st.sampled_from([16, 32, 64, 128])),
+        out_channels=draw(st.sampled_from([16, 32, 64, 128, 256])),
+        in_height=draw(st.integers(min_value=7, max_value=64)),
+        in_width=draw(st.integers(min_value=7, max_value=64)),
+        kernel_size=draw(st.sampled_from([1, 3])),
+        stride=draw(st.sampled_from([1, 2])),
+        padding=draw(st.sampled_from([0, 1])),
+    )
+
+
+@st.composite
+def kernel_configs(draw, workload):
+    return KernelConfig(
+        tile_oc=draw(st.sampled_from([4, 8, 16])),
+        tile_oh=draw(st.sampled_from([1, 2, 4])),
+        tile_ow=draw(st.integers(min_value=1, max_value=max(1, workload.out_width))),
+        vector_lanes=8,
+        unroll=draw(st.sampled_from([1, 2, 4])),
+        threads=draw(st.sampled_from([1, 4, 32])),
+        vectorize=draw(st.sampled_from(["width", "channels"])),
+    )
+
+
+class TestPerfModelProperties:
+    @given(st.data())
+    @settings(**_SETTINGS)
+    def test_time_positive_finite_for_any_legal_config(self, data):
+        workload = data.draw(conv_workloads())
+        config = data.draw(kernel_configs(workload))
+        for machine in (INTEL_4790K, AMD_2990WX):
+            seconds = execution_time_seconds(workload, config, machine)
+            assert np.isfinite(seconds) and seconds > 0.0
+
+    @given(st.data())
+    @settings(**_SETTINGS)
+    def test_time_scales_with_workload_size(self, data):
+        workload = data.draw(conv_workloads())
+        config = data.draw(kernel_configs(workload))
+        bigger = ConvWorkload(
+            batch=workload.batch,
+            in_channels=workload.in_channels,
+            out_channels=workload.out_channels * 2,
+            in_height=workload.in_height,
+            in_width=workload.in_width,
+            kernel_size=workload.kernel_size,
+            stride=workload.stride,
+            padding=workload.padding,
+        )
+        assert execution_time_seconds(bigger, config, INTEL_4790K) >= execution_time_seconds(
+            workload, config, INTEL_4790K
+        ) * 0.99
+
+
+class TestParetoProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_frontier_is_subset_and_mutually_nondominating(self, raw_points):
+        points = [ParetoPoint(cost, value) for cost, value in raw_points]
+        frontier = pareto_frontier(points)
+        assert frontier
+        assert all(point in points for point in frontier)
+        for a in frontier:
+            assert not any(b.dominates(a) for b in points)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(**_SETTINGS)
+    def test_frontier_contains_extreme_points(self, raw_points):
+        points = [ParetoPoint(cost, value) for cost, value in raw_points]
+        frontier = pareto_frontier(points)
+        best_value = max(p.value for p in points)
+        assert any(p.value == best_value for p in frontier)
+
+
+class TestSurrogateProperties:
+    @given(
+        st.sampled_from(["imagenet", "cars"]),
+        st.sampled_from(["resnet18", "resnet50"]),
+        st.floats(min_value=100.0, max_value=500.0),
+        st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(**_SETTINGS)
+    def test_static_accuracy_bounded(self, dataset, model, resolution, crop):
+        accuracy = StaticAccuracyModel(dataset, model).accuracy(resolution, crop)
+        assert 0.0 <= accuracy <= 100.0
+
+    @given(
+        st.sampled_from(["imagenet", "cars"]),
+        st.floats(min_value=0.9, max_value=1.0),
+        st.floats(min_value=0.9, max_value=1.0),
+        st.sampled_from([112, 224, 448]),
+    )
+    @settings(**_SETTINGS)
+    def test_quality_drop_monotone_in_ssim(self, dataset, ssim_a, ssim_b, resolution):
+        quality = QualityDegradationModel(dataset)
+        low, high = min(ssim_a, ssim_b), max(ssim_a, ssim_b)
+        assert quality.accuracy_drop(resolution, low) >= quality.accuracy_drop(resolution, high)

@@ -1,0 +1,194 @@
+"""Accuracy surrogate tests: anchors, interpolation, quality model, per-image oracle."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate.anchors import CROP_RATIOS, RESOLUTIONS, get_anchors
+from repro.surrogate.per_image import PerImageOracle, SimulatedScaleModel
+from repro.surrogate.quality import QualityDegradationModel
+from repro.surrogate.static_accuracy import StaticAccuracyModel
+
+
+class TestAnchors:
+    def test_all_four_surfaces_available(self):
+        for dataset in ("imagenet", "cars"):
+            for model in ("resnet18", "resnet50"):
+                anchors = get_anchors(dataset, model)
+                assert anchors.table().shape == (len(CROP_RATIOS), len(RESOLUTIONS))
+
+    def test_exact_lookup_matches_paper_values(self):
+        assert get_anchors("imagenet", "resnet18").at(0.75, 224) == 69.5
+        assert get_anchors("imagenet", "resnet50").at(0.75, 280) == 76.0
+        assert get_anchors("cars", "resnet18").at(0.25, 112) == 63.2
+        assert get_anchors("cars", "resnet50").at(0.56, 448) == 87.6
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(KeyError):
+            get_anchors("cifar", "resnet18")
+        with pytest.raises(KeyError):
+            get_anchors("imagenet", "resnet18").at(0.5, 224)
+        with pytest.raises(ValueError):
+            get_anchors("imagenet", "resnet18").at(0.75, 200)
+
+    def test_resnet50_dominates_resnet18(self):
+        """At every anchored point the larger model is at least as accurate."""
+        small = get_anchors("imagenet", "resnet18").table()
+        large = get_anchors("imagenet", "resnet50").table()
+        assert (large >= small).all()
+
+
+class TestStaticAccuracyModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return StaticAccuracyModel("imagenet", "resnet18")
+
+    def test_reproduces_anchors_exactly(self, model):
+        anchors = get_anchors("imagenet", "resnet18")
+        for crop in CROP_RATIOS:
+            for resolution in RESOLUTIONS:
+                assert model.accuracy(resolution, crop) == pytest.approx(
+                    anchors.at(crop, resolution)
+                )
+
+    def test_interpolation_between_anchored_resolutions(self, model):
+        value = model.accuracy(252, 0.75)
+        assert model.accuracy(224, 0.75) <= value <= model.accuracy(280, 0.75) + 0.1
+
+    def test_non_monotone_resolution_curve(self, model):
+        """The train/test resolution discrepancy: accuracy peaks then declines."""
+        curve = model.accuracy_curve(0.75)
+        assert max(curve, key=curve.get) == 280
+        assert curve[448] < curve[280]
+
+    def test_smaller_crops_favor_lower_resolutions(self, model):
+        best_small_crop, _ = model.best_static(0.25)
+        best_large_crop, _ = model.best_static(0.75)
+        assert best_small_crop < best_large_crop
+
+    def test_full_crop_curve_synthesized(self, model):
+        """The 100% crop (Fig 8d) favours even higher resolutions than 75%."""
+        curve = model.accuracy_curve(1.0)
+        assert max(curve, key=curve.get) >= 280
+        assert curve[112] < model.accuracy_curve(0.75)[112]
+
+    def test_intermediate_crop_blending(self, model):
+        mid = model.accuracy(224, 0.65)
+        low = model.accuracy(224, 0.56)
+        high = model.accuracy(224, 0.75)
+        assert min(low, high) - 1e-9 <= mid <= max(low, high) + 1e-9
+
+    def test_invalid_arguments_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.accuracy(0, 0.75)
+        with pytest.raises(ValueError):
+            model.accuracy(224, 0.0)
+
+
+class TestQualityDegradation:
+    def test_no_drop_at_full_quality(self):
+        quality = QualityDegradationModel("imagenet")
+        assert quality.accuracy_drop(224, 1.0) == 0.0
+
+    def test_drop_increases_as_quality_falls(self):
+        quality = QualityDegradationModel("imagenet")
+        assert quality.accuracy_drop(224, 0.94) > quality.accuracy_drop(224, 0.98) > 0.0
+
+    def test_lower_resolutions_degrade_faster(self):
+        """Fig 6: accuracy at low resolution is more sensitive to lost data."""
+        quality = QualityDegradationModel("imagenet")
+        assert quality.accuracy_drop(112, 0.95) > quality.accuracy_drop(448, 0.95)
+
+    def test_cars_is_more_tolerant_than_imagenet(self):
+        """Fig 6 / Tables III-IV: the shape-dominant dataset tolerates low fidelity."""
+        imagenet = QualityDegradationModel("imagenet")
+        cars = QualityDegradationModel("cars")
+        assert cars.accuracy_drop(224, 0.94) < imagenet.accuracy_drop(224, 0.94)
+
+    def test_inverse_mapping_consistent(self):
+        quality = QualityDegradationModel("imagenet")
+        ssim = quality.max_ssim_loss_for_drop(224, 0.05)
+        assert quality.accuracy_drop(224, ssim) <= 0.05 + 1e-9
+
+    def test_invalid_ssim_rejected(self):
+        with pytest.raises(ValueError):
+            QualityDegradationModel("imagenet").accuracy_drop(224, 1.5)
+
+
+class TestPerImageOracle:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        return PerImageOracle("imagenet", "resnet18", num_images=800, seed=0)
+
+    def test_probability_matrix_shape_and_range(self, oracle):
+        matrix = oracle.probability_matrix(RESOLUTIONS, 0.75)
+        assert matrix.shape == (800, len(RESOLUTIONS))
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+    def test_aggregate_tracks_static_surface(self, oracle):
+        """Averaging per-image probabilities approximates the published accuracy."""
+        static = StaticAccuracyModel("imagenet", "resnet18")
+        for resolution in (168, 224, 280):
+            aggregate = oracle.dataset_accuracy(resolution, 0.75)
+            assert aggregate == pytest.approx(static.accuracy(resolution, 0.75), abs=4.0)
+
+    def test_large_objects_prefer_lower_resolutions(self, oracle):
+        """The object-scale mechanism: large-appearing objects peak earlier."""
+        large = max(oracle.profiles, key=lambda p: p.relative_scale)
+        small = min(oracle.profiles, key=lambda p: p.relative_scale)
+        resolutions = np.array(RESOLUTIONS, dtype=float)
+        large_curve = [oracle.correct_probability(large, r, 0.75) for r in resolutions]
+        small_curve = [oracle.correct_probability(small, r, 0.75) for r in resolutions]
+        large_peak = resolutions[int(np.argmax(large_curve))]
+        small_peak = resolutions[int(np.argmax(small_curve))]
+        assert large_peak <= small_peak
+
+    def test_lower_quality_never_increases_probability(self, oracle):
+        profile = oracle.profiles[0]
+        assert oracle.correct_probability(profile, 224, 0.75, ssim=0.94) <= (
+            oracle.correct_probability(profile, 224, 0.75, ssim=1.0) + 1e-12
+        )
+
+    def test_sample_correctness_is_binary(self, oracle):
+        matrix = oracle.probability_matrix((224,), 0.75)
+        draws = oracle.sample_correctness(matrix, seed=0)
+        assert set(np.unique(draws)).issubset({0.0, 1.0})
+
+    def test_rejects_empty_oracle(self):
+        with pytest.raises(ValueError):
+            PerImageOracle("imagenet", "resnet18", num_images=0)
+
+
+class TestSimulatedScaleModel:
+    def test_zero_noise_recovers_true_probabilities(self):
+        scale_model = SimulatedScaleModel(logit_noise=0.0)
+        probabilities = np.array([[0.2, 0.9, 0.5]])
+        np.testing.assert_allclose(
+            scale_model.predict_probabilities(probabilities), probabilities, atol=1e-6
+        )
+
+    def test_choices_prefer_cheaper_resolution_on_ties(self):
+        scale_model = SimulatedScaleModel(logit_noise=0.0)
+        probabilities = np.array([[0.9, 0.9, 0.9]])
+        flops = np.array([1.0, 2.0, 3.0])
+        choice = scale_model.choose_resolutions(probabilities, (112, 224, 448), flops)
+        assert choice[0] == 0
+
+    def test_choices_follow_clear_winner(self):
+        scale_model = SimulatedScaleModel(logit_noise=0.0)
+        probabilities = np.array([[0.1, 0.2, 0.95]])
+        choice = scale_model.choose_resolutions(probabilities, (112, 224, 448))
+        assert choice[0] == 2
+
+    def test_noise_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            SimulatedScaleModel(logit_noise=-1.0)
+
+    def test_dynamic_selection_beats_worst_static(self):
+        """Even a noisy scale model must outperform the worst fixed resolution."""
+        oracle = PerImageOracle("imagenet", "resnet18", num_images=600, seed=1)
+        scale_model = SimulatedScaleModel(logit_noise=0.3, seed=1)
+        probabilities = oracle.probability_matrix(RESOLUTIONS, 0.25)
+        choices = scale_model.choose_resolutions(probabilities, RESOLUTIONS)
+        dynamic = probabilities[np.arange(len(choices)), choices].mean()
+        worst_static = probabilities.mean(axis=0).min()
+        assert dynamic > worst_static
