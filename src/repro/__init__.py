@@ -13,6 +13,9 @@ the dynamic-resolution pipeline built on top of them:
 * :mod:`repro.surrogate` — empirical accuracy surfaces calibrated to the paper;
 * :mod:`repro.core` — the paper's contribution: scale-model training, storage
   calibration, the dynamic resolution pipeline, and static baselines;
+* :mod:`repro.serving` — online serving: deterministic discrete-event
+  simulator with scan-granular caching, dynamic batching, a bounded worker
+  pool, and load-adaptive resolution policies;
 * :mod:`repro.analysis` — Pareto frontiers and paper-style table/figure builders.
 """
 

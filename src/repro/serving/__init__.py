@@ -1,0 +1,65 @@
+"""Online serving: a deterministic discrete-event inference simulator.
+
+The paper's pipeline saves bytes and FLOPs *per request*; this package
+answers what that buys an online service under concurrent load.  It
+composes every existing layer under one simulated clock:
+
+* :mod:`repro.serving.arrivals` — seeded Poisson, bursty ON/OFF, and
+  closed-loop request processes over :class:`~repro.storage.store.ImageStore`
+  keys;
+* :mod:`repro.serving.cache` — a scan-granular LRU cache tier in front of
+  the store (a hit on a shorter prefix pays only the incremental scans);
+* :mod:`repro.serving.batcher` — dynamic size-or-deadline batching by
+  resolution, priced by :mod:`repro.hwsim.latency`;
+* :mod:`repro.serving.policies` — a load-adaptive wrapper that degrades
+  resolution choices when the serving queue is deep;
+* :mod:`repro.serving.server` — the event loop: arrivals → cache/store
+  reads → scale-model resolution choice → batched backbone execution on a
+  bounded worker pool;
+* :mod:`repro.serving.metrics` — per-run SLO reports (throughput, latency
+  percentiles, cache effectiveness, bytes and dollars saved).
+
+Runs are fully deterministic under a fixed seed: identical configurations
+produce identical :class:`~repro.serving.metrics.SLOReport` objects.
+"""
+
+from repro.serving.arrivals import (
+    ArrivalProcess,
+    ClosedLoopClients,
+    OnOffArrivals,
+    PoissonArrivals,
+    Request,
+)
+from repro.serving.batcher import (
+    BatchCostModel,
+    BatchTimer,
+    DynamicBatcher,
+    HwSimBatchCost,
+    LinearBatchCost,
+)
+from repro.serving.cache import CacheRead, CacheStats, ScanCache
+from repro.serving.metrics import ServedRequest, SLOReport, build_report
+from repro.serving.policies import LoadAdaptiveResolutionPolicy
+from repro.serving.server import InferenceServer, ServerConfig
+
+__all__ = [
+    "Request",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "ClosedLoopClients",
+    "ScanCache",
+    "CacheStats",
+    "CacheRead",
+    "DynamicBatcher",
+    "BatchTimer",
+    "BatchCostModel",
+    "LinearBatchCost",
+    "HwSimBatchCost",
+    "LoadAdaptiveResolutionPolicy",
+    "InferenceServer",
+    "ServerConfig",
+    "ServedRequest",
+    "SLOReport",
+    "build_report",
+]

@@ -1,0 +1,214 @@
+"""Seeded request-arrival processes for the serving simulator.
+
+Three traffic shapes cover the serving evaluation:
+
+* :class:`PoissonArrivals` — memoryless open-loop traffic at a fixed rate,
+  the standard "steady cloud frontend" assumption;
+* :class:`OnOffArrivals` — bursty open-loop traffic alternating between a
+  high-rate ON phase and a low-rate OFF phase (Markov-modulated Poisson),
+  which is what stresses the batcher and the load-adaptive policy;
+* :class:`ClosedLoopClients` — a fixed population of clients that each wait
+  for their previous response plus an exponential think time before issuing
+  the next request (interactive-user traffic; throughput is self-limiting).
+
+All processes are seeded and fully deterministic: the same seed produces
+byte-identical traces, which is what makes serving runs reproducible.
+Keys are drawn from the store's key set either uniformly or with a Zipf
+popularity skew (``zipf_alpha > 0`` makes low-index keys hot, which is what
+gives a cache tier something to work with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request against a stored image key."""
+
+    request_id: int
+    key: str
+    arrival_time: float
+    client_id: int | None = None
+
+
+def _key_probabilities(num_keys: int, zipf_alpha: float) -> np.ndarray:
+    """Popularity distribution over key ranks (rank 0 is the hottest key)."""
+    if num_keys <= 0:
+        raise ValueError("need at least one key")
+    if zipf_alpha < 0:
+        raise ValueError("zipf_alpha must be non-negative")
+    if zipf_alpha == 0.0:
+        return np.full(num_keys, 1.0 / num_keys)
+    weights = (np.arange(num_keys) + 1.0) ** -zipf_alpha
+    return weights / weights.sum()
+
+
+def sample_keys(
+    rng: np.random.Generator,
+    keys: Sequence[str],
+    count: int,
+    zipf_alpha: float = 0.0,
+) -> list[str]:
+    """Draw ``count`` keys with replacement, optionally Zipf-skewed by rank."""
+    probabilities = _key_probabilities(len(keys), zipf_alpha)
+    chosen = rng.choice(len(keys), size=count, p=probabilities)
+    return [keys[int(index)] for index in chosen]
+
+
+class ArrivalProcess:
+    """Interface: produce a deterministic open-loop trace over store keys."""
+
+    def trace(self, keys: Sequence[str], num_requests: int) -> list[Request]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson traffic at ``rate_rps`` requests per second."""
+
+    rate_rps: float
+    seed: int = 0
+    zipf_alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    def trace(self, keys: Sequence[str], num_requests: int) -> list[Request]:
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.rate_rps, size=num_requests)
+        times = np.cumsum(gaps)
+        chosen = sample_keys(rng, keys, num_requests, self.zipf_alpha)
+        return [
+            Request(request_id=i, key=chosen[i], arrival_time=float(times[i]))
+            for i in range(num_requests)
+        ]
+
+
+@dataclass(frozen=True)
+class OnOffArrivals(ArrivalProcess):
+    """Bursty traffic: Poisson bursts at ``on_rate_rps`` separated by lulls.
+
+    Phase durations are exponential with means ``mean_on_s`` / ``mean_off_s``;
+    within the OFF phase requests arrive at ``off_rate_rps`` (0 for silence).
+    """
+
+    on_rate_rps: float
+    off_rate_rps: float = 0.0
+    mean_on_s: float = 0.1
+    mean_off_s: float = 0.3
+    seed: int = 0
+    zipf_alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.on_rate_rps <= 0:
+            raise ValueError("ON-phase rate must be positive")
+        if self.off_rate_rps < 0:
+            raise ValueError("OFF-phase rate must be non-negative")
+        if self.mean_on_s <= 0 or self.mean_off_s <= 0:
+            raise ValueError("phase durations must be positive")
+
+    def trace(self, keys: Sequence[str], num_requests: int) -> list[Request]:
+        rng = np.random.default_rng(self.seed)
+        times: list[float] = []
+        clock = 0.0
+        on_phase = True
+        while len(times) < num_requests:
+            mean = self.mean_on_s if on_phase else self.mean_off_s
+            rate = self.on_rate_rps if on_phase else self.off_rate_rps
+            phase_end = clock + float(rng.exponential(mean))
+            if rate > 0:
+                cursor = clock
+                while len(times) < num_requests:
+                    cursor += float(rng.exponential(1.0 / rate))
+                    if cursor >= phase_end:
+                        break
+                    times.append(cursor)
+            clock = phase_end
+            on_phase = not on_phase
+        chosen = sample_keys(rng, keys, num_requests, self.zipf_alpha)
+        return [
+            Request(request_id=i, key=chosen[i], arrival_time=times[i])
+            for i in range(num_requests)
+        ]
+
+
+class ClosedLoopClients:
+    """A fixed client population with exponential think times.
+
+    Unlike the open-loop processes, the next arrival of a client depends on
+    when its previous request *completed*, so the trace cannot be
+    pre-generated: the server calls :meth:`next_request` from its completion
+    handler.  Determinism holds because the event loop itself is
+    deterministic, so the call order (and hence the RNG stream) is too.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        think_time_s: float = 0.01,
+        requests_per_client: int = 10,
+        seed: int = 0,
+        zipf_alpha: float = 0.0,
+    ) -> None:
+        if num_clients <= 0:
+            raise ValueError("need at least one client")
+        if think_time_s < 0:
+            raise ValueError("think time must be non-negative")
+        if requests_per_client <= 0:
+            raise ValueError("each client must issue at least one request")
+        self.num_clients = num_clients
+        self.think_time_s = think_time_s
+        self.requests_per_client = requests_per_client
+        self.zipf_alpha = zipf_alpha
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._keys: list[str] = []
+        self._key_probabilities: np.ndarray | None = None
+        self._issued: dict[int, int] = {}
+        self._next_id = 0
+
+    @property
+    def total_requests(self) -> int:
+        return self.num_clients * self.requests_per_client
+
+    def _think(self) -> float:
+        if self.think_time_s == 0:
+            return 0.0
+        return float(self._rng.exponential(self.think_time_s))
+
+    def _make_request(self, client_id: int, arrival_time: float) -> Request:
+        key = self._keys[int(self._rng.choice(len(self._keys), p=self._key_probabilities))]
+        request = Request(
+            request_id=self._next_id,
+            key=key,
+            arrival_time=arrival_time,
+            client_id=client_id,
+        )
+        self._next_id += 1
+        self._issued[client_id] = self._issued.get(client_id, 0) + 1
+        return request
+
+    def start(self, keys: Sequence[str]) -> list[Request]:
+        """Initial request of every client, staggered by one think time each.
+
+        Re-seeds the RNG, so calling ``start`` again replays the same
+        population from scratch.
+        """
+        self._keys = list(keys)
+        self._key_probabilities = _key_probabilities(len(self._keys), self.zipf_alpha)
+        self._rng = np.random.default_rng(self._seed)
+        self._issued = {}
+        self._next_id = 0
+        return [self._make_request(client, self._think()) for client in range(self.num_clients)]
+
+    def next_request(self, client_id: int, completion_time: float) -> Request | None:
+        """The client's next request after a completion, or None when done."""
+        if self._issued.get(client_id, 0) >= self.requests_per_client:
+            return None
+        return self._make_request(client_id, completion_time + self._think())

@@ -1,0 +1,178 @@
+"""Per-run SLO reporting for the serving simulator.
+
+A serving run produces one :class:`ServedRequest` per completed request
+with its full timeline (arrival → ready → dispatch → completion) and byte
+provenance (store vs cache).  :func:`build_report` folds those into an
+:class:`SLOReport`: throughput, latency percentiles, batching behaviour,
+cache effectiveness, bytes read versus the all-data baseline, and the
+dollar cost of the bytes actually moved (via
+:class:`~repro.storage.bandwidth.StorageBandwidthModel`, the paper's
+cloud-economics model).  Reports are plain frozen dataclasses so two
+deterministic runs can be compared with ``==``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.storage.bandwidth import StorageBandwidthModel
+
+from repro.serving.cache import CacheStats
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Timeline and accounting for one completed request."""
+
+    request_id: int
+    key: str
+    arrival_time: float
+    ready_time: float  # reads + resolution selection finished
+    dispatch_time: float  # batch started executing on a worker
+    completion_time: float
+    resolution: int
+    scans_read: int
+    bytes_from_store: int
+    bytes_from_cache: int
+    total_bytes: int
+    batch_size: int
+    prediction: int
+    label: int | None
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> float:
+        return self.dispatch_time - self.ready_time
+
+    @property
+    def correct(self) -> bool | None:
+        if self.label is None:
+            return None
+        return self.prediction == self.label
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Aggregate service-level metrics for one serving run."""
+
+    num_requests: int
+    duration_s: float
+    throughput_rps: float
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    mean_queue_wait_ms: float
+    mean_batch_size: float
+    accuracy: float
+    bytes_from_store: int
+    bytes_from_cache: int
+    baseline_bytes: int
+    bytes_saved: int
+    relative_bytes_saved: float
+    transfer_seconds: float
+    transfer_dollars: float
+    cache_hit_rate: float | None
+    degraded_requests: int
+    resolution_histogram: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Deterministic plain-text rendering of the report."""
+        lines = [
+            f"requests served        {self.num_requests}",
+            f"duration               {self.duration_s:.4f} s",
+            f"throughput             {self.throughput_rps:.1f} req/s",
+            f"latency mean/p50       {self.mean_latency_ms:.2f} / {self.p50_latency_ms:.2f} ms",
+            f"latency p95/p99        {self.p95_latency_ms:.2f} / {self.p99_latency_ms:.2f} ms",
+            f"mean queue wait        {self.mean_queue_wait_ms:.2f} ms",
+            f"mean batch size        {self.mean_batch_size:.2f}",
+            f"accuracy               {self.accuracy:.1f} %",
+            f"bytes from store       {self.bytes_from_store}",
+            f"bytes from cache       {self.bytes_from_cache}",
+            f"bytes saved vs full    {self.bytes_saved} ({100.0 * self.relative_bytes_saved:.1f} %)",
+            f"transfer time / cost   {self.transfer_seconds:.4f} s / ${self.transfer_dollars:.6f}",
+        ]
+        if self.cache_hit_rate is not None:
+            lines.append(f"cache hit rate         {100.0 * self.cache_hit_rate:.1f} %")
+        if self.degraded_requests:
+            lines.append(f"degraded requests      {self.degraded_requests}")
+        histogram = ", ".join(
+            f"{resolution}px: {count}"
+            for resolution, count in sorted(self.resolution_histogram.items())
+        )
+        lines.append(f"resolution mix         {histogram}")
+        return "\n".join(lines)
+
+
+def _percentile_ms(latencies: np.ndarray, q: float) -> float:
+    return float(np.percentile(latencies, q) * 1e3)
+
+
+def build_report(
+    served: Sequence[ServedRequest],
+    bandwidth: StorageBandwidthModel,
+    store_requests: int,
+    cache_stats: CacheStats | None = None,
+    degraded_requests: int = 0,
+) -> SLOReport:
+    """Fold completed requests into one :class:`SLOReport`.
+
+    ``store_requests`` is the number of GET operations issued against the
+    store (a full cache hit issues none), which the bandwidth model prices
+    separately from the bytes moved.
+    """
+    if not served:
+        raise ValueError("cannot build a report from zero served requests")
+    ordered = sorted(served, key=lambda r: r.request_id)
+    latencies = np.array([r.latency for r in ordered])
+    waits = np.array([r.queue_wait for r in ordered])
+    first_arrival = min(r.arrival_time for r in ordered)
+    last_completion = max(r.completion_time for r in ordered)
+    duration = last_completion - first_arrival
+
+    labelled = [r for r in ordered if r.label is not None]
+    accuracy = (
+        100.0 * sum(r.correct for r in labelled) / len(labelled)
+        if labelled
+        else float("nan")
+    )
+
+    bytes_from_store = sum(r.bytes_from_store for r in ordered)
+    bytes_from_cache = sum(r.bytes_from_cache for r in ordered)
+    baseline_bytes = sum(r.total_bytes for r in ordered)
+    transfer = bandwidth.estimate(bytes_from_store, num_requests=store_requests)
+
+    histogram: dict[int, int] = {}
+    for record in ordered:
+        histogram[record.resolution] = histogram.get(record.resolution, 0) + 1
+
+    return SLOReport(
+        num_requests=len(ordered),
+        duration_s=duration,
+        throughput_rps=len(ordered) / duration if duration > 0 else float("inf"),
+        mean_latency_ms=float(latencies.mean() * 1e3),
+        p50_latency_ms=_percentile_ms(latencies, 50),
+        p95_latency_ms=_percentile_ms(latencies, 95),
+        p99_latency_ms=_percentile_ms(latencies, 99),
+        mean_queue_wait_ms=float(waits.mean() * 1e3),
+        mean_batch_size=float(np.mean([r.batch_size for r in ordered])),
+        accuracy=accuracy,
+        bytes_from_store=bytes_from_store,
+        bytes_from_cache=bytes_from_cache,
+        baseline_bytes=baseline_bytes,
+        bytes_saved=baseline_bytes - bytes_from_store,
+        relative_bytes_saved=(
+            1.0 - bytes_from_store / baseline_bytes if baseline_bytes > 0 else 0.0
+        ),
+        transfer_seconds=transfer.seconds,
+        transfer_dollars=transfer.dollars,
+        cache_hit_rate=cache_stats.hit_rate if cache_stats is not None else None,
+        degraded_requests=degraded_requests,
+        resolution_histogram=histogram,
+    )

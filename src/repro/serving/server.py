@@ -1,0 +1,313 @@
+"""The online serving event loop (discrete-event simulator).
+
+:class:`InferenceServer` drives the existing dynamic-resolution pipeline
+under concurrent load on one simulated clock:
+
+1. an arrival pulls the calibrated stage-1 scan prefix through the cache
+   tier (or straight from the store), the resolution policy picks the
+   backbone resolution, and any missing scans are topped up incrementally;
+   the request becomes *ready* after the modeled transfer time
+   (:class:`StorageBandwidthModel`) plus the scale model's compute time;
+2. ready requests queue in the :class:`DynamicBatcher` by resolution and
+   flush on size or deadline;
+3. flushed batches run on a bounded worker pool, priced by a
+   :class:`BatchCostModel` (hwsim-backed or linear); the backbone really
+   executes (numpy) so predictions and accuracy are part of the report;
+4. completions free workers, feed closed-loop clients their next arrival,
+   and accumulate :class:`ServedRequest` records for the SLO report.
+
+Everything is deterministic: the event heap breaks time ties by insertion
+order and all randomness lives in the seeded arrival processes, so two runs
+with the same configuration produce identical :class:`SLOReport` objects.
+Simulated time (transfer + batch latency) is decoupled from the real CPU
+time the numpy models take, which is what lets a laptop-sized model stand
+in for a production backbone under thousands of requests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.policies import ResolutionPolicy, StaticResolutionPolicy
+from repro.imaging.transforms import InferencePreprocessor
+from repro.nn.module import Module
+from repro.storage.bandwidth import StorageBandwidthModel
+from repro.storage.policy import ScanReadPolicy
+from repro.storage.store import ImageStore
+
+from repro.serving.arrivals import ClosedLoopClients, Request
+from repro.serving.batcher import BatchCostModel, DynamicBatcher, LinearBatchCost
+from repro.serving.cache import ScanCache
+from repro.serving.metrics import ServedRequest, SLOReport, build_report
+
+_ARRIVAL = "arrival"
+_ENQUEUE = "enqueue"
+_FLUSH = "flush"
+_DONE = "done"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the serving tier (the arrival process supplies the traffic)."""
+
+    resolutions: tuple[int, ...]
+    scale_resolution: int | None = None
+    num_workers: int = 2
+    max_batch_size: int = 4
+    max_wait_s: float = 0.005
+    scale_model_seconds: float = 0.0
+    crop_ratio: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not self.resolutions:
+            raise ValueError("need at least one candidate resolution")
+        if self.num_workers <= 0:
+            raise ValueError("need at least one worker")
+
+
+@dataclass
+class _InFlight:
+    """A request between admission and completion."""
+
+    request: Request
+    image: np.ndarray
+    resolution: int
+    scans_read: int
+    bytes_from_store: int
+    bytes_from_cache: int
+    total_bytes: int
+    ready_time: float
+    dispatch_time: float = 0.0
+
+
+class InferenceServer:
+    """Serve a request trace through the dynamic-resolution pipeline."""
+
+    def __init__(
+        self,
+        store: ImageStore,
+        backbone: Module,
+        policy: ResolutionPolicy,
+        config: ServerConfig,
+        read_policy: ScanReadPolicy | None = None,
+        cache: ScanCache | None = None,
+        batch_cost: BatchCostModel | None = None,
+        bandwidth: StorageBandwidthModel | None = None,
+    ) -> None:
+        self.store = store
+        self.backbone = backbone
+        self.policy = policy
+        self.config = config
+        self.read_policy = read_policy or ScanReadPolicy()
+        self.cache = cache
+        self.batch_cost = batch_cost or LinearBatchCost()
+        self.bandwidth = bandwidth or StorageBandwidthModel()
+        self.resolutions = tuple(sorted(config.resolutions))
+        self.scale_resolution = config.scale_resolution or min(self.resolutions)
+        self.preprocessor = InferencePreprocessor(crop_ratio=config.crop_ratio)
+        self.store_requests = 0
+        self._request_fetch_ops = 0
+
+    # -- reads -------------------------------------------------------------------
+    @property
+    def is_dynamic(self) -> bool:
+        return not isinstance(self.policy, StaticResolutionPolicy)
+
+    def _fetch(
+        self, key: str, num_scans: int, record: bool, already_read: int = 0
+    ) -> tuple[np.ndarray, int]:
+        """Read through the cache (or store); returns (image, bytes_fetched)."""
+        if self.cache is not None:
+            image, read = self.cache.read_through(
+                self.store, key, num_scans, record=record, already_read=already_read
+            )
+            fetched = read.bytes_fetched
+        elif already_read:
+            image, receipt = self.store.read_additional(key, already_read, num_scans)
+            fetched = receipt.bytes_read
+        else:
+            image, receipt = self.store.read(key, num_scans)
+            fetched = receipt.bytes_read
+        if fetched > 0:
+            self.store_requests += 1
+            self._request_fetch_ops += 1
+        return image, fetched
+
+    def _admit(self, request: Request, now: float, queue_depth: int) -> _InFlight:
+        """Run the read + resolution-selection stages for one arrival."""
+        stored = self.store.metadata(request.key)
+        encoded = stored.encoded
+
+        if hasattr(self.policy, "observe_queue_depth"):
+            self.policy.observe_queue_depth(queue_depth)
+
+        self._request_fetch_ops = 0
+        scale_seconds = 0.0
+        if self.is_dynamic:
+            # Stage 1: cheap prefix for the scale model.
+            stage1_scans = self.read_policy.scans_for(
+                encoded, self.scale_resolution, key=request.key
+            )
+            image, fetched = self._fetch(request.key, stage1_scans, record=True)
+            resolution = self.policy.select(image)
+            scale_seconds = self.config.scale_model_seconds
+
+            # Stage 2: top up to the chosen resolution's calibrated prefix.
+            scans = max(
+                stage1_scans,
+                self.read_policy.scans_for(encoded, resolution, key=request.key),
+            )
+            if scans > stage1_scans:
+                image, extra = self._fetch(
+                    request.key, scans, record=False, already_read=stage1_scans
+                )
+                fetched += extra
+        else:
+            resolution = self.policy.select(np.empty(0))
+            scans = self.read_policy.scans_for(encoded, resolution, key=request.key)
+            image, fetched = self._fetch(request.key, scans, record=True)
+
+        # Whatever the request consumed but did not fetch was cache-resident.
+        consumed = encoded.cumulative_bytes(scans)
+        from_cache = consumed - fetched if self.cache is not None else 0
+        transfer = self.bandwidth.estimate(fetched, num_requests=self._request_fetch_ops)
+        return _InFlight(
+            request=request,
+            image=image,
+            resolution=resolution,
+            scans_read=scans,
+            bytes_from_store=fetched,
+            bytes_from_cache=from_cache,
+            total_bytes=encoded.total_bytes,
+            ready_time=now + transfer.seconds + scale_seconds,
+        )
+
+    # -- batch execution ----------------------------------------------------------
+    def _execute(self, resolution: int, items: list[_InFlight]) -> np.ndarray:
+        inputs = np.concatenate(
+            [self.preprocessor(item.image, resolution) for item in items], axis=0
+        )
+        self.backbone.eval()
+        logits = self.backbone(inputs)
+        return np.argmax(logits, axis=1)
+
+    # -- the event loop -----------------------------------------------------------
+    def run(self, trace: Sequence[Request]) -> SLOReport:
+        """Serve a pre-generated open-loop trace."""
+        if not trace:
+            raise ValueError("cannot serve an empty trace")
+        return self._run(trace, clients=None)
+
+    def run_closed_loop(
+        self, clients: ClosedLoopClients, keys: Sequence[str]
+    ) -> SLOReport:
+        """Serve a closed-loop client population over the given keys."""
+        return self._run(clients.start(keys), clients=clients)
+
+    def _run(
+        self, initial: Sequence[Request], clients: ClosedLoopClients | None
+    ) -> SLOReport:
+        config = self.config
+        batcher = DynamicBatcher(config.max_batch_size, config.max_wait_s)
+        heap: list[tuple[float, int, str, object]] = []
+        ticket = itertools.count()
+
+        def push(time: float, kind: str, payload: object) -> None:
+            heapq.heappush(heap, (time, next(ticket), kind, payload))
+
+        for request in initial:
+            push(request.arrival_time, _ARRIVAL, request)
+
+        served: list[ServedRequest] = []
+        dispatch_queue: deque[tuple[int, list[_InFlight]]] = deque()
+        free_workers = config.num_workers
+        # Per-run counters start fresh; cache *contents* deliberately persist,
+        # so a reused server serves the next run with a warm cache but still
+        # reports that run's own hit rates and degradation tallies.
+        self.store_requests = 0
+        if self.cache is not None:
+            self.cache.reset_stats()
+        if hasattr(self.policy, "reset_counters"):
+            self.policy.reset_counters()
+
+        def start_batch(resolution: int, items: list[_InFlight], now: float) -> None:
+            nonlocal free_workers
+            free_workers -= 1
+            for item in items:
+                item.dispatch_time = now
+            latency = self.batch_cost.batch_seconds(resolution, len(items))
+            push(now + latency, _DONE, (resolution, items))
+
+        def dispatch(resolution: int, items: list[_InFlight], now: float) -> None:
+            if free_workers > 0:
+                start_batch(resolution, items, now)
+            else:
+                dispatch_queue.append((resolution, items))
+
+        while heap:
+            now, _, kind, payload = heapq.heappop(heap)
+
+            if kind == _ARRIVAL:
+                queue_depth = batcher.queue_depth + sum(
+                    len(items) for _, items in dispatch_queue
+                )
+                in_flight = self._admit(payload, now, queue_depth)
+                push(in_flight.ready_time, _ENQUEUE, in_flight)
+
+            elif kind == _ENQUEUE:
+                batch, timer = batcher.add(payload.resolution, payload, now)
+                if timer is not None:
+                    push(timer.deadline, _FLUSH, timer)
+                if batch is not None:
+                    dispatch(payload.resolution, batch, now)
+
+            elif kind == _FLUSH:
+                batch = batcher.on_timeout(payload.resolution, payload.epoch)
+                if batch is not None:
+                    dispatch(payload.resolution, batch, now)
+
+            elif kind == _DONE:
+                resolution, items = payload
+                predictions = self._execute(resolution, items)
+                for item, prediction in zip(items, predictions):
+                    request = item.request
+                    served.append(
+                        ServedRequest(
+                            request_id=request.request_id,
+                            key=request.key,
+                            arrival_time=request.arrival_time,
+                            ready_time=item.ready_time,
+                            dispatch_time=item.dispatch_time,
+                            completion_time=now,
+                            resolution=resolution,
+                            scans_read=item.scans_read,
+                            bytes_from_store=item.bytes_from_store,
+                            bytes_from_cache=item.bytes_from_cache,
+                            total_bytes=item.total_bytes,
+                            batch_size=len(items),
+                            prediction=int(prediction),
+                            label=self.store.metadata(request.key).label,
+                        )
+                    )
+                    if clients is not None and request.client_id is not None:
+                        follow_up = clients.next_request(request.client_id, now)
+                        if follow_up is not None:
+                            push(follow_up.arrival_time, _ARRIVAL, follow_up)
+                free_workers += 1
+                if dispatch_queue:
+                    queued_resolution, queued_items = dispatch_queue.popleft()
+                    start_batch(queued_resolution, queued_items, now)
+
+        return build_report(
+            served,
+            bandwidth=self.bandwidth,
+            store_requests=self.store_requests,
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            degraded_requests=getattr(self.policy, "degraded_requests", 0),
+        )

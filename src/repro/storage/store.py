@@ -33,6 +33,9 @@ class ReadReceipt:
 
     @property
     def relative_read_size(self) -> float:
+        if self.total_bytes == 0:
+            # Degenerate zero-byte encodings: nothing to read, nothing saved.
+            return 0.0
         return self.bytes_read / self.total_bytes
 
     @property

@@ -1,0 +1,91 @@
+"""Dynamic batcher and batch cost model tests."""
+
+import pytest
+
+from repro.hwsim.machine import INTEL_4790K
+from repro.nn.resnet import resnet_tiny
+from repro.serving.batcher import DynamicBatcher, HwSimBatchCost, LinearBatchCost
+
+
+class TestDynamicBatcher:
+    def test_full_group_flushes_immediately(self):
+        batcher = DynamicBatcher(max_batch_size=3, max_wait_s=1.0)
+        batcher.add(32, "a", now=0.0)
+        batcher.add(32, "b", now=0.05)
+        batch, timer = batcher.add(32, "c", now=0.1)
+        assert batch == ["a", "b", "c"]
+        assert timer is None
+        assert batcher.queue_depth == 0
+
+    def test_first_item_arms_a_timer(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_s=0.01)
+        batch, timer = batcher.add(48, "x", now=2.0)
+        assert batch is None
+        assert timer.deadline == pytest.approx(2.01)
+        assert timer.resolution == 48
+        # Second item does not re-arm: the oldest member's deadline governs.
+        batch, timer = batcher.add(48, "y", now=2.005)
+        assert batch is None and timer is None
+        assert batcher.queue_depth == 2
+
+    def test_timeout_flushes_the_armed_group(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_s=0.01)
+        _, timer = batcher.add(48, "x", now=0.0)
+        batcher.add(48, "y", now=0.004)
+        batch = batcher.on_timeout(timer.resolution, timer.epoch)
+        assert batch == ["x", "y"]
+        assert batcher.queue_depth == 0
+
+    def test_stale_timer_is_ignored_after_size_flush(self):
+        batcher = DynamicBatcher(max_batch_size=2, max_wait_s=0.01)
+        _, timer = batcher.add(32, "x", now=0.0)
+        batch, _ = batcher.add(32, "y", now=0.001)  # size flush bumps the epoch
+        assert batch == ["x", "y"]
+        batcher.add(32, "z", now=0.002)  # a fresh group is forming
+        assert batcher.on_timeout(timer.resolution, timer.epoch) is None
+        assert batcher.queue_depth == 1
+
+    def test_groups_are_per_resolution(self):
+        batcher = DynamicBatcher(max_batch_size=2, max_wait_s=0.01)
+        batcher.add(24, "a", now=0.0)
+        batcher.add(48, "b", now=0.0)
+        assert sorted(batcher.pending_resolutions()) == [24, 48]
+        batch, _ = batcher.add(24, "c", now=0.001)
+        assert batch == ["a", "c"]
+        assert batcher.pending_resolutions() == [48]
+
+    def test_batch_size_one_flushes_instantly(self):
+        batcher = DynamicBatcher(max_batch_size=1, max_wait_s=0.01)
+        batch, timer = batcher.add(32, "solo", now=0.0)
+        assert batch == ["solo"] and timer is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch_size=0, max_wait_s=0.01)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch_size=4, max_wait_s=-1.0)
+
+
+class TestBatchCostModels:
+    def test_linear_cost_is_affine_in_batch_size(self):
+        cost = LinearBatchCost(per_item_seconds=0.002, fixed_seconds=0.01)
+        assert cost.batch_seconds(32, 1) == pytest.approx(0.012)
+        assert cost.batch_seconds(32, 4) == pytest.approx(0.018)
+        with pytest.raises(ValueError):
+            cost.batch_seconds(32, 0)
+
+    def test_hwsim_cost_amortizes_per_image_latency(self):
+        model = resnet_tiny(num_classes=4, base_width=4, seed=0)
+        cost = HwSimBatchCost(model, INTEL_4790K, kernel_source="library")
+        single = cost.batch_seconds(32, 1)
+        batched = cost.batch_seconds(32, 4)
+        assert single > 0
+        assert batched > single  # a bigger batch takes longer in total...
+        assert batched / 4 < single  # ...but less per image
+        # Cached: asking again must not re-estimate (same object identity).
+        assert cost.batch_seconds(32, 4) == batched
+
+    def test_hwsim_cost_grows_with_resolution(self):
+        model = resnet_tiny(num_classes=4, base_width=4, seed=0)
+        cost = HwSimBatchCost(model, INTEL_4790K, kernel_source="library")
+        assert cost.batch_seconds(48, 2) > cost.batch_seconds(24, 2)

@@ -1,0 +1,248 @@
+"""Scan-cache tests: LRU mechanics, byte accounting, and property invariants.
+
+The property tests run the cache against a lightweight fake store (scan
+byte sizes only, no real codec) so hypothesis can explore thousands of
+operation sequences quickly; the integration-level behaviour against the
+real :class:`ImageStore` is covered in ``test_server.py``.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serving.cache import ScanCache
+
+_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- a minimal store double ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FakeReceipt:
+    bytes_read: int
+
+
+class _FakeEncoded:
+    """Scan-prefix byte accounting without any actual image payload."""
+
+    def __init__(self, scan_bytes: tuple[int, ...]) -> None:
+        self.scan_bytes = scan_bytes
+
+    @property
+    def num_scans(self) -> int:
+        return len(self.scan_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.scan_bytes)
+
+    def cumulative_bytes(self, num_scans: int) -> int:
+        return sum(self.scan_bytes[:num_scans])
+
+    def decode(self, num_scans: int) -> np.ndarray:
+        return np.full((1,), float(num_scans))
+
+
+class _FakeStoredImage:
+    def __init__(self, encoded: _FakeEncoded) -> None:
+        self.encoded = encoded
+        self.label = None
+
+
+class _FakeStore:
+    def __init__(self, objects: dict[str, _FakeEncoded]) -> None:
+        self._objects = objects
+        self.total_bytes_read = 0
+
+    def metadata(self, key: str) -> _FakeStoredImage:
+        return _FakeStoredImage(self._objects[key])
+
+    def read(self, key: str, num_scans: int):
+        encoded = self._objects[key]
+        bytes_read = encoded.cumulative_bytes(num_scans)
+        self.total_bytes_read += bytes_read
+        return encoded.decode(num_scans), _FakeReceipt(bytes_read)
+
+    def read_additional(self, key: str, already_read_scans: int, num_scans: int):
+        encoded = self._objects[key]
+        bytes_read = encoded.cumulative_bytes(num_scans) - encoded.cumulative_bytes(
+            already_read_scans
+        )
+        self.total_bytes_read += bytes_read
+        return encoded.decode(num_scans), _FakeReceipt(bytes_read)
+
+
+def make_store(num_keys: int = 4, scan_cost: int = 100) -> _FakeStore:
+    return _FakeStore(
+        {f"k{i}": _FakeEncoded((scan_cost,) * 5) for i in range(num_keys)}
+    )
+
+
+# -- directed unit tests ---------------------------------------------------------
+
+
+class TestScanCacheMechanics:
+    def test_miss_then_hit(self):
+        store, cache = make_store(), ScanCache(capacity_bytes=10_000)
+        _, first = cache.read_through(store, "k0", 3)
+        _, second = cache.read_through(store, "k0", 3)
+        assert first.outcome == "miss" and first.bytes_fetched == 300
+        assert second.outcome == "hit" and second.bytes_fetched == 0
+        assert second.bytes_from_cache == 300
+
+    def test_shorter_prefix_is_a_full_hit(self):
+        store, cache = make_store(), ScanCache(capacity_bytes=10_000)
+        cache.read_through(store, "k0", 4)
+        _, read = cache.read_through(store, "k0", 2)
+        assert read.outcome == "hit"
+        assert read.bytes_fetched == 0
+
+    def test_longer_prefix_pays_only_incremental_scans(self):
+        store, cache = make_store(), ScanCache(capacity_bytes=10_000)
+        cache.read_through(store, "k0", 2)
+        _, read = cache.read_through(store, "k0", 5)
+        assert read.outcome == "partial"
+        assert read.bytes_fetched == 300  # scans 3..5 only
+        assert read.bytes_from_cache == 200
+        assert cache.cached_scans("k0") == 5
+
+    def test_eviction_follows_lru_order(self):
+        store = make_store(num_keys=4)
+        cache = ScanCache(capacity_bytes=600)  # room for three 2-scan entries
+        for key in ("k0", "k1", "k2"):
+            cache.read_through(store, key, 2)
+        cache.read_through(store, "k0", 2)  # touch k0: k1 is now LRU
+        cache.read_through(store, "k3", 2)  # overflow -> evict k1
+        assert cache.lru_keys() == ["k2", "k0", "k3"]
+        assert "k1" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_entry_larger_than_capacity_is_never_admitted(self):
+        store = make_store()
+        cache = ScanCache(capacity_bytes=250)
+        _, read = cache.read_through(store, "k0", 5)  # 500 bytes > capacity
+        assert read.outcome == "miss"
+        assert "k0" not in cache
+        assert cache.bytes_cached == 0
+
+    def test_upgrade_past_capacity_drops_the_entry(self):
+        store = make_store()
+        cache = ScanCache(capacity_bytes=250)
+        cache.read_through(store, "k0", 2)  # 200 bytes, admitted
+        _, read = cache.read_through(store, "k0", 5)  # upgrade to 500 > capacity
+        assert read.outcome == "partial"
+        assert "k0" not in cache
+        assert cache.bytes_cached == 0
+
+    def test_unrecorded_topup_skips_hit_tallies_but_counts_bytes(self):
+        store, cache = make_store(), ScanCache(capacity_bytes=10_000)
+        cache.read_through(store, "k0", 2, record=True)
+        cache.read_through(store, "k0", 4, record=False)
+        assert cache.stats.lookups == 1
+        assert cache.stats.misses == 1 and cache.stats.partial_hits == 0
+        assert cache.stats.bytes_fetched == 400
+        assert cache.stats.bytes_from_cache == 200  # the resident 2-scan prefix
+
+    def test_byte_counters_sum_to_bytes_consumed_across_stages(self):
+        """Stage pairs (record=True then record=False top-up) keep the ledger
+        consistent: from_cache never double counts the caller's own reads."""
+        store, cache = make_store(), ScanCache(capacity_bytes=10_000)
+        # Request A: miss at 2 scans, top-up to 4 (its own stage-1 bytes must
+        # not be credited to the cache).
+        cache.read_through(store, "k0", 2, record=True)
+        cache.read_through(store, "k0", 4, record=False, already_read=2)
+        assert cache.stats.bytes_fetched == 400
+        assert cache.stats.bytes_from_cache == 0
+        # Request B: full hit at 2, top-up hit to 4 — all four scans resident.
+        cache.read_through(store, "k0", 2, record=True)
+        cache.read_through(store, "k0", 4, record=False, already_read=2)
+        assert cache.stats.bytes_fetched == 400
+        assert cache.stats.bytes_from_cache == 400
+
+    def test_miss_with_already_read_pays_only_incremental(self):
+        store = make_store()
+        cache = ScanCache(capacity_bytes=150)  # the 2-scan prefix (200B) is not admitted
+        cache.read_through(store, "k0", 2, record=True)
+        assert "k0" not in cache
+        store.total_bytes_read = 0
+        _, read = cache.read_through(store, "k0", 4, record=False, already_read=2)
+        assert read.bytes_fetched == 200  # scans 3..4, not 1..4
+        assert store.total_bytes_read == 200
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ScanCache(capacity_bytes=0)
+
+
+# -- property-style invariants ---------------------------------------------------
+
+
+@st.composite
+def cache_workloads(draw):
+    num_keys = draw(st.integers(min_value=1, max_value=5))
+    scan_sizes = {
+        f"k{i}": tuple(
+            draw(st.integers(min_value=1, max_value=200)) for _ in range(5)
+        )
+        for i in range(num_keys)
+    }
+    capacity = draw(st.integers(min_value=50, max_value=1500))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_keys - 1),
+                st.integers(min_value=1, max_value=5),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return scan_sizes, capacity, ops
+
+
+class TestScanCacheProperties:
+    @given(cache_workloads())
+    @settings(**_SETTINGS)
+    def test_invariants_hold_after_every_operation(self, workload):
+        scan_sizes, capacity, ops = workload
+        store = _FakeStore({key: _FakeEncoded(sizes) for key, sizes in scan_sizes.items()})
+        cache = ScanCache(capacity_bytes=capacity)
+        for key_index, scans in ops:
+            key = f"k{key_index}"
+            image, read = cache.read_through(store, key, scans)
+            needed = sum(scan_sizes[key][:scans])
+            # The request is always exactly satisfied, from cache plus store.
+            assert read.bytes_from_cache + read.bytes_fetched == needed
+            # Capacity is never exceeded and residency matches the ledger.
+            assert cache.bytes_cached <= capacity
+            resident = sum(
+                sum(scan_sizes[k][: cache.cached_scans(k)]) for k in cache.lru_keys()
+            )
+            assert resident == cache.bytes_cached
+        stats = cache.stats
+        assert stats.hits + stats.partial_hits + stats.misses == stats.lookups
+        assert stats.lookups == len(ops)
+        assert 0.0 <= stats.hit_rate <= 1.0
+
+    @given(cache_workloads())
+    @settings(**_SETTINGS)
+    def test_cache_never_increases_store_traffic(self, workload):
+        scan_sizes, capacity, ops = workload
+        objects = {key: _FakeEncoded(sizes) for key, sizes in scan_sizes.items()}
+        cached_store = _FakeStore(objects)
+        cache = ScanCache(capacity_bytes=capacity)
+        raw_store = _FakeStore(objects)
+        for key_index, scans in ops:
+            key = f"k{key_index}"
+            cache.read_through(cached_store, key, scans)
+            raw_store.read(key, scans)
+        assert cached_store.total_bytes_read <= raw_store.total_bytes_read
+        assert cache.stats.bytes_fetched == cached_store.total_bytes_read

@@ -1,0 +1,302 @@
+"""Event-loop integration tests: determinism, cache savings, load adaptation.
+
+These drive the real pipeline pieces (progressive store, tiny numpy models,
+calibrated scan reads) through the serving simulator, so they double as the
+acceptance tests of the subsystem: identical configurations must produce
+identical SLO reports, and the scan-prefix cache must demonstrably cut the
+bytes read from the store on the same trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.progressive import ProgressiveEncoder
+from repro.core.policies import (
+    DynamicResolutionPolicy,
+    StaticResolutionPolicy,
+)
+from repro.core.scale_model import ScaleModelPredictor
+from repro.nn.mobilenet import mobilenet_tiny
+from repro.nn.resnet import resnet_tiny
+from repro.serving import (
+    ClosedLoopClients,
+    InferenceServer,
+    LoadAdaptiveResolutionPolicy,
+    OnOffArrivals,
+    PoissonArrivals,
+    ScanCache,
+    ServerConfig,
+)
+from repro.serving.batcher import LinearBatchCost
+from repro.storage.policy import ScanReadPolicy
+from repro.storage.store import ImageStore
+
+RESOLUTIONS = (24, 32, 48)
+
+
+@pytest.fixture(scope="module")
+def serving_store(tiny_imagenet_like):
+    """A progressive store over a dozen tiny synthetic images."""
+    store = ImageStore(encoder=ProgressiveEncoder(quality=85))
+    for sample in list(tiny_imagenet_like)[:12]:
+        store.put(f"img{sample.index}", sample.render(), label=sample.label)
+    return store
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return resnet_tiny(num_classes=4, base_width=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def read_policy():
+    return ScanReadPolicy(ssim_thresholds={24: 0.90, 32: 0.92, 48: 0.95})
+
+
+def make_dynamic_policy():
+    """Fresh policy per run so mutable policy state cannot leak across runs."""
+    scale_model = mobilenet_tiny(num_classes=len(RESOLUTIONS), seed=1)
+    predictor = ScaleModelPredictor(scale_model, RESOLUTIONS, scale_resolution=24)
+    return DynamicResolutionPolicy(predictor)
+
+
+def make_config(**overrides):
+    defaults = dict(
+        resolutions=RESOLUTIONS,
+        scale_resolution=24,
+        num_workers=2,
+        max_batch_size=4,
+        max_wait_s=0.004,
+        scale_model_seconds=0.0004,
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+def run_trace(store, backbone, read_policy, trace, cache=None, policy=None, **config):
+    server = InferenceServer(
+        store,
+        backbone,
+        policy or make_dynamic_policy(),
+        make_config(**config),
+        read_policy=read_policy,
+        cache=cache,
+    )
+    return server.run(trace)
+
+
+class TestDeterminism:
+    def test_identical_configs_produce_identical_reports(
+        self, serving_store, backbone, read_policy
+    ):
+        trace = PoissonArrivals(rate_rps=400.0, seed=5, zipf_alpha=1.0).trace(
+            serving_store.keys(), 40
+        )
+        first = run_trace(
+            serving_store, backbone, read_policy, trace, cache=ScanCache(300_000)
+        )
+        second = run_trace(
+            serving_store, backbone, read_policy, trace, cache=ScanCache(300_000)
+        )
+        assert first == second
+        assert first.format() == second.format()
+
+    def test_different_traffic_seeds_change_the_report(
+        self, serving_store, backbone, read_policy
+    ):
+        keys = serving_store.keys()
+        a = PoissonArrivals(rate_rps=400.0, seed=5).trace(keys, 30)
+        b = PoissonArrivals(rate_rps=400.0, seed=6).trace(keys, 30)
+        report_a = run_trace(serving_store, backbone, read_policy, a)
+        report_b = run_trace(serving_store, backbone, read_policy, b)
+        assert report_a != report_b
+
+
+class TestCacheEffect:
+    def test_cache_reduces_bytes_read_from_store(
+        self, serving_store, backbone, read_policy
+    ):
+        """Acceptance criterion: same trace, with and without the cache tier."""
+        trace = PoissonArrivals(rate_rps=400.0, seed=5, zipf_alpha=1.0).trace(
+            serving_store.keys(), 40
+        )
+        cached = run_trace(
+            serving_store, backbone, read_policy, trace, cache=ScanCache(300_000)
+        )
+        cacheless = run_trace(serving_store, backbone, read_policy, trace, cache=None)
+        assert cached.bytes_from_store < cacheless.bytes_from_store
+        assert cached.bytes_from_cache > 0
+        assert cacheless.bytes_from_cache == 0
+        assert cached.cache_hit_rate > 0.0
+        assert cacheless.cache_hit_rate is None
+        # The cache changes byte provenance, not what was served.
+        assert cached.num_requests == cacheless.num_requests == len(trace)
+        assert cached.resolution_histogram == cacheless.resolution_histogram
+        assert cached.accuracy == cacheless.accuracy
+
+    def test_warm_cache_serves_exactly_the_consumed_bytes(
+        self, serving_store, backbone, read_policy
+    ):
+        """Regression: stage-2 hits on pre-warmed keys must count as cache bytes.
+
+        A fully warm cache serves every byte a request consumes, so the warm
+        run's cache bytes must equal the bytes a cache-less run of the same
+        trace pulls from the store.
+        """
+        trace = PoissonArrivals(rate_rps=400.0, seed=5, zipf_alpha=1.0).trace(
+            serving_store.keys(), 20
+        )
+        cacheless = run_trace(serving_store, backbone, read_policy, trace, cache=None)
+        cache = ScanCache(500_000)  # big enough that nothing is evicted
+        run_trace(serving_store, backbone, read_policy, trace, cache=cache)  # warm it
+        warm = run_trace(serving_store, backbone, read_policy, trace, cache=cache)
+        assert warm.bytes_from_store == 0
+        assert warm.bytes_from_cache == cacheless.bytes_from_store
+
+    def test_reused_server_reports_per_run_metrics(
+        self, serving_store, backbone, read_policy
+    ):
+        """Regression: a second run() must not inherit the first run's tallies."""
+        trace = PoissonArrivals(rate_rps=400.0, seed=5, zipf_alpha=1.0).trace(
+            serving_store.keys(), 20
+        )
+        policy = LoadAdaptiveResolutionPolicy(
+            make_dynamic_policy(), RESOLUTIONS, queue_threshold=4
+        )
+        server = InferenceServer(
+            serving_store,
+            backbone,
+            policy,
+            make_config(),
+            read_policy=read_policy,
+            cache=ScanCache(500_000),
+        )
+        first = server.run(trace)
+        second = server.run(trace)
+        assert second.num_requests == len(trace)
+        assert second.degraded_requests <= second.num_requests
+        # The cache stays warm across runs, so the second run fetches less...
+        assert second.bytes_from_store <= first.bytes_from_store
+        # ...and its hit rate reflects this run only (never above 100%).
+        assert 0.0 <= second.cache_hit_rate <= 1.0
+
+    def test_transfer_cost_tracks_store_bytes(self, serving_store, backbone, read_policy):
+        trace = PoissonArrivals(rate_rps=400.0, seed=5, zipf_alpha=1.0).trace(
+            serving_store.keys(), 30
+        )
+        cached = run_trace(
+            serving_store, backbone, read_policy, trace, cache=ScanCache(300_000)
+        )
+        cacheless = run_trace(serving_store, backbone, read_policy, trace, cache=None)
+        assert cached.transfer_dollars < cacheless.transfer_dollars
+
+
+class TestServingBehaviour:
+    def test_every_request_is_served_exactly_once(
+        self, serving_store, backbone, read_policy
+    ):
+        trace = OnOffArrivals(
+            on_rate_rps=800.0, mean_on_s=0.03, mean_off_s=0.1, seed=2
+        ).trace(serving_store.keys(), 30)
+        report = run_trace(serving_store, backbone, read_policy, trace)
+        assert report.num_requests == len(trace)
+        assert sum(report.resolution_histogram.values()) == len(trace)
+
+    def test_batches_respect_max_batch_size(self, serving_store, backbone, read_policy):
+        trace = PoissonArrivals(rate_rps=2000.0, seed=1).trace(serving_store.keys(), 24)
+        server = InferenceServer(
+            serving_store,
+            backbone,
+            StaticResolutionPolicy(32),
+            make_config(max_batch_size=3, num_workers=1),
+            read_policy=read_policy,
+        )
+        report = server.run(trace)
+        assert 1.0 <= report.mean_batch_size <= 3.0
+
+    def test_latency_percentiles_are_ordered(self, serving_store, backbone, read_policy):
+        trace = PoissonArrivals(rate_rps=600.0, seed=3).trace(serving_store.keys(), 30)
+        report = run_trace(serving_store, backbone, read_policy, trace)
+        assert 0 < report.p50_latency_ms <= report.p95_latency_ms <= report.p99_latency_ms
+        assert report.throughput_rps > 0
+        assert report.duration_s > 0
+
+    def test_closed_loop_serves_the_full_quota(self, serving_store, backbone, read_policy):
+        clients = ClosedLoopClients(
+            num_clients=3, think_time_s=0.002, requests_per_client=4, seed=9
+        )
+        server = InferenceServer(
+            serving_store,
+            backbone,
+            StaticResolutionPolicy(32),
+            make_config(num_workers=1),
+            read_policy=read_policy,
+        )
+        report = server.run_closed_loop(clients, serving_store.keys())
+        assert report.num_requests == clients.total_requests
+
+    def test_empty_trace_is_rejected(self, serving_store, backbone, read_policy):
+        server = InferenceServer(
+            serving_store,
+            backbone,
+            StaticResolutionPolicy(32),
+            make_config(),
+            read_policy=read_policy,
+        )
+        with pytest.raises(ValueError):
+            server.run([])
+
+
+class TestLoadAdaptation:
+    def test_overload_degrades_resolution_and_sheds_bytes(
+        self, serving_store, backbone, read_policy
+    ):
+        """A slow single worker builds a deep queue; the adaptive policy sheds."""
+        trace = PoissonArrivals(rate_rps=2000.0, seed=4).trace(serving_store.keys(), 30)
+
+        def run(policy):
+            server = InferenceServer(
+                serving_store,
+                backbone,
+                policy,
+                make_config(num_workers=1, max_batch_size=4, max_wait_s=0.002),
+                read_policy=read_policy,
+                batch_cost=LinearBatchCost(per_item_seconds=0.01, fixed_seconds=0.01),
+            )
+            return server.run(trace)
+
+        rigid = run(StaticResolutionPolicy(48))
+        adaptive_policy = LoadAdaptiveResolutionPolicy(
+            StaticResolutionPolicy(48), RESOLUTIONS, queue_threshold=4
+        )
+        adaptive = run(adaptive_policy)
+
+        assert adaptive_policy.degraded_requests > 0
+        assert adaptive.degraded_requests == adaptive_policy.degraded_requests
+        assert min(adaptive.resolution_histogram) < 48
+        assert rigid.resolution_histogram == {48: len(trace)}
+
+    def test_no_degradation_below_threshold(self):
+        inner = StaticResolutionPolicy(48)
+        policy = LoadAdaptiveResolutionPolicy(inner, RESOLUTIONS, queue_threshold=8)
+        policy.observe_queue_depth(8)
+        assert policy.select(np.empty(0)) == 48
+        assert policy.degraded_requests == 0
+
+    def test_degradation_scales_with_overload_and_is_capped(self):
+        inner = StaticResolutionPolicy(48)
+        policy = LoadAdaptiveResolutionPolicy(inner, RESOLUTIONS, queue_threshold=4)
+        policy.observe_queue_depth(5)  # one threshold multiple -> one step
+        assert policy.select(np.empty(0)) == 32
+        policy.observe_queue_depth(9)  # two multiples -> two steps
+        assert policy.select(np.empty(0)) == 24
+        policy.observe_queue_depth(1000)  # cannot go below the ladder floor
+        assert policy.select(np.empty(0)) == 24
+
+    def test_overload_never_raises_a_below_ladder_choice(self):
+        """Shedding load must not upgrade a choice below the ladder floor."""
+        inner = StaticResolutionPolicy(16)  # below the (24, 32, 48) ladder
+        policy = LoadAdaptiveResolutionPolicy(inner, RESOLUTIONS, queue_threshold=2)
+        policy.observe_queue_depth(100)
+        assert policy.select(np.empty(0)) == 16
+        assert policy.degraded_requests == 0

@@ -7,7 +7,7 @@ from repro.codec.progressive import ProgressiveEncoder
 from repro.imaging.metrics import ssim
 from repro.storage.bandwidth import StorageBandwidthModel
 from repro.storage.policy import ScanReadPolicy
-from repro.storage.store import ImageStore
+from repro.storage.store import ImageStore, ReadReceipt
 
 
 @pytest.fixture
@@ -65,6 +65,19 @@ class TestImageStore:
 
     def test_mean_object_bytes(self, store_with_image):
         assert store_with_image.mean_object_bytes == store_with_image.total_bytes_stored
+
+
+class TestReadReceipt:
+    def test_zero_byte_encoding_has_zero_relative_read_size(self):
+        """Regression: degenerate zero-byte objects used to raise ZeroDivisionError."""
+        receipt = ReadReceipt(key="empty", scans_read=0, bytes_read=0, total_bytes=0)
+        assert receipt.relative_read_size == 0.0
+        assert receipt.bytes_saved == 0
+
+    def test_nonzero_encoding_unaffected(self):
+        receipt = ReadReceipt(key="img", scans_read=2, bytes_read=250, total_bytes=1000)
+        assert receipt.relative_read_size == pytest.approx(0.25)
+        assert receipt.bytes_saved == 750
 
 
 class TestBandwidthModel:
