@@ -4,46 +4,26 @@ Paper reference: Fig 2 (a five-scan progressive encoding with cumulative
 bytes shown below each scan).  Reproduced quantities: cumulative bytes grow
 per scan and decoded quality (SSIM/PSNR against the source) improves
 monotonically.
+
+Runs through the ``repro.api`` facade: the same registered ``fig2``
+experiment that ``python -m repro run examples/configs/fig2.json`` drives.
 """
 
 from conftest import emit
 
-from repro.analysis.report import format_table
-from repro.codec.progressive import ProgressiveEncoder
-from repro.data.dataset import SyntheticDataset
-from repro.data.profiles import IMAGENET_LIKE
-from repro.imaging.metrics import psnr, ssim
+from repro.api import Engine, EngineConfig
 
 
-def build_scan_progression():
-    sample = SyntheticDataset(IMAGENET_LIKE, size=1, seed=3)[0]
-    image = sample.render(448)
-    encoded = ProgressiveEncoder(quality=85).encode(image)
-    rows = []
-    for scans in range(1, encoded.num_scans + 1):
-        decoded = encoded.decode(scans)
-        rows.append(
-            [
-                f"scan {scans}",
-                encoded.cumulative_bytes(scans),
-                encoded.relative_read_size(scans),
-                ssim(image, decoded),
-                psnr(image, decoded),
-            ]
-        )
-    return rows
+def build_result():
+    engine = Engine(EngineConfig(resolutions=(112, 224, 448)))
+    return engine.run_experiment("fig2", quality=85, seed=3, render_resolution=448)
 
 
 def test_fig2_progressive_scan_refinement(benchmark):
-    rows = benchmark.pedantic(build_scan_progression, rounds=1, iterations=1)
-    table = format_table(
-        ["Scan", "Cumulative bytes", "Relative read", "SSIM", "PSNR (dB)"],
-        rows,
-        float_format="{:.3f}",
-    )
-    emit("fig2_progressive_scans", table)
+    result = benchmark.pedantic(build_result, rounds=1, iterations=1)
+    emit("fig2_progressive_scans", result.table)
 
-    cumulative = [row[1] for row in rows]
-    quality = [row[3] for row in rows]
+    cumulative = result.data["cumulative_bytes"]
+    quality = result.data["ssim"]
     assert cumulative == sorted(cumulative)
     assert quality[-1] > quality[0]

@@ -7,88 +7,95 @@ and comparing SLO reports across traffic shapes and cache configurations.
 Reproduced claims: the scan-granular cache removes the large majority of
 store bytes on a skewed-popularity trace, and dynamic batching keeps
 throughput at or above the arrival rate while tail latency stays bounded.
+
+Scenarios are declarative :class:`~repro.api.config.EngineConfig` objects
+built and run by the :class:`~repro.api.engine.Engine` facade; the store
+and backbone are shared across engines so each traffic shape serves one
+identical trace with and without the cache tier.
 """
 
 from conftest import emit
 
 from repro.analysis.report import format_table
-from repro.codec.progressive import ProgressiveEncoder
-from repro.core.policies import StaticResolutionPolicy
-from repro.data.dataset import SyntheticDataset
-from repro.data.profiles import DatasetProfile
-from repro.hwsim.machine import INTEL_4790K
-from repro.nn.resnet import resnet_tiny
-from repro.serving import (
-    HwSimBatchCost,
-    InferenceServer,
-    OnOffArrivals,
-    PoissonArrivals,
-    ScanCache,
-    ServerConfig,
+from repro.api import Engine, EngineConfig
+from repro.api.config import (
+    ArrivalsConfig,
+    BackboneConfig,
+    BatchCostConfig,
+    CacheConfig,
+    PolicyConfig,
+    ServingConfig,
+    StoreConfig,
 )
-from repro.storage.policy import ScanReadPolicy
-from repro.storage.store import ImageStore
 
 RESOLUTIONS = (24, 32, 48)
 NUM_REQUESTS = 80
 CACHE_BYTES = 300_000
 
-
-def build_world():
-    profile = DatasetProfile(
-        name="serving-bench",
-        num_classes=4,
-        storage_resolution_mean=96,
-        storage_resolution_std=10,
-        object_scale_mean=0.55,
-        object_scale_std=0.2,
-        texture_weight=0.6,
-        detail_sensitivity=1.0,
-    )
-    dataset = SyntheticDataset(profile, size=12, seed=5)
-    store = ImageStore(encoder=ProgressiveEncoder(quality=85))
-    for sample in dataset:
-        store.put(f"img{sample.index}", sample.render(), label=sample.label)
-    backbone = resnet_tiny(num_classes=4, base_width=4, seed=0)
-    read_policy = ScanReadPolicy(ssim_thresholds={24: 0.90, 32: 0.92, 48: 0.95})
-    batch_cost = HwSimBatchCost(backbone, INTEL_4790K, kernel_source="library")
-    return store, backbone, read_policy, batch_cost
+TRAFFICS = {
+    "poisson-600rps": ArrivalsConfig(
+        name="poisson", options=dict(rate_rps=600.0, seed=11, zipf_alpha=1.0)
+    ),
+    "bursty-2000rps": ArrivalsConfig(
+        name="onoff",
+        options=dict(
+            on_rate_rps=2000.0, mean_on_s=0.04, mean_off_s=0.15, seed=11, zipf_alpha=1.0
+        ),
+    ),
+}
 
 
-def serve(store, backbone, read_policy, batch_cost, trace, cache_bytes):
-    server = InferenceServer(
-        store,
-        backbone,
-        StaticResolutionPolicy(32),
-        ServerConfig(
-            resolutions=RESOLUTIONS,
-            scale_resolution=24,
+def make_config(arrivals: ArrivalsConfig, cache_bytes: int) -> EngineConfig:
+    return EngineConfig(
+        resolutions=RESOLUTIONS,
+        scale_resolution=24,
+        store=StoreConfig(
+            profile="imagenet-like",
+            overrides=dict(
+                name="serving-bench",
+                num_classes=4,
+                storage_resolution_mean=96,
+                storage_resolution_std=10,
+                object_scale_mean=0.55,
+                object_scale_std=0.2,
+                texture_weight=0.6,
+                detail_sensitivity=1.0,
+            ),
+            num_images=12,
+            seed=5,
+            quality=85,
+        ),
+        backbone=BackboneConfig(
+            name="resnet-tiny", options={"num_classes": 4, "base_width": 4, "seed": 0}
+        ),
+        policy=PolicyConfig(name="static", resolution=32),
+        ssim_thresholds={24: 0.90, 32: 0.92, 48: 0.95},
+        serving=ServingConfig(
+            arrivals=arrivals,
+            num_requests=NUM_REQUESTS,
             num_workers=2,
             max_batch_size=4,
             max_wait_s=0.004,
+            cache=CacheConfig(capacity_bytes=cache_bytes) if cache_bytes else None,
+            batch_cost=BatchCostConfig(name="hwsim", machine="4790K"),
         ),
-        read_policy=read_policy,
-        cache=ScanCache(cache_bytes) if cache_bytes else None,
-        batch_cost=batch_cost,
     )
-    return server.run(trace)
 
 
 def run_grid():
-    store, backbone, read_policy, batch_cost = build_world()
-    traffics = {
-        "poisson-600rps": PoissonArrivals(rate_rps=600.0, seed=11, zipf_alpha=1.0),
-        "bursty-2000rps": OnOffArrivals(
-            on_rate_rps=2000.0, mean_on_s=0.04, mean_off_s=0.15, seed=11, zipf_alpha=1.0
-        ),
-    }
+    base = Engine(make_config(TRAFFICS["poisson-600rps"], 0))
+    store = base.build_store()
+    backbone = base.build_backbone()
     reports = {}
-    for traffic_name, process in traffics.items():
-        trace = process.trace(store.keys(), NUM_REQUESTS)
+    for traffic_name, arrivals in TRAFFICS.items():
+        trace = Engine(
+            make_config(arrivals, 0), store=store, backbone=backbone
+        ).build_trace()
         for cache_name, cache_bytes in (("no-cache", 0), ("scan-lru", CACHE_BYTES)):
-            reports[(traffic_name, cache_name)] = serve(
-                store, backbone, read_policy, batch_cost, trace, cache_bytes
+            engine = Engine(
+                make_config(arrivals, cache_bytes), store=store, backbone=backbone
             )
+            reports[(traffic_name, cache_name)] = engine.serve(trace)
     return reports
 
 

@@ -9,12 +9,13 @@ trace four ways on the discrete-event simulator:
 * the cached dynamic pipeline wrapped in the load-adaptive policy that
   degrades resolution when the queue gets deep.
 
-Batches are priced with the analytical hardware model (4790K-class CPU,
-library kernels) and reads with the cloud bandwidth/cost model, so the SLO
-reports show the serving-side value of the paper's mechanism: fewer bytes
-off storage, lower tail latency, smaller bill.  Models are untrained tiny
-variants — the point here is traffic, not accuracy — so the whole run takes
-seconds.
+Every scenario is a declarative :class:`~repro.api.config.EngineConfig` —
+the four differ only in their ``policy``/``serving.cache`` sections — and
+is built and run by the :class:`~repro.api.engine.Engine` facade.  The
+store and backbone are shared across engines so all scenarios serve the
+identical trace.  ``examples/configs/serving_bursty.json`` is the last
+(and richest) of these configs; ``python -m repro serve`` runs it without
+this script.
 
 Run:  python examples/online_serving.py
 """
@@ -22,33 +23,26 @@ Run:  python examples/online_serving.py
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.codec.progressive import ProgressiveEncoder
-from repro.core.policies import DynamicResolutionPolicy, StaticResolutionPolicy
-from repro.core.scale_model import ScaleModelPredictor
-from repro.data.dataset import SyntheticDataset
-from repro.data.profiles import DatasetProfile
-from repro.hwsim.machine import INTEL_4790K
-from repro.nn.mobilenet import mobilenet_tiny
-from repro.nn.resnet import resnet_tiny
-from repro.serving import (
-    HwSimBatchCost,
-    InferenceServer,
-    LoadAdaptiveResolutionPolicy,
-    OnOffArrivals,
-    ScanCache,
-    ServerConfig,
+from repro.api import Engine, EngineConfig
+from repro.api.config import (
+    AdaptiveConfig,
+    ArrivalsConfig,
+    BackboneConfig,
+    BatchCostConfig,
+    CacheConfig,
+    PolicyConfig,
+    ServingConfig,
+    StoreConfig,
 )
-from repro.storage.policy import ScanReadPolicy
-from repro.storage.store import ImageStore
 
 RESOLUTIONS = (24, 32, 48)
 SCALE_RESOLUTION = 24
 NUM_REQUESTS = 120
 CACHE_BYTES = 300_000
 
-
-def build_store() -> ImageStore:
-    profile = DatasetProfile(
+STORE = StoreConfig(
+    profile="imagenet-like",
+    overrides=dict(
         name="serving-demo",
         num_classes=4,
         storage_resolution_mean=96,
@@ -57,72 +51,89 @@ def build_store() -> ImageStore:
         object_scale_std=0.2,
         texture_weight=0.6,
         detail_sensitivity=1.0,
-    )
-    dataset = SyntheticDataset(profile, size=16, seed=3)
-    store = ImageStore(encoder=ProgressiveEncoder(quality=85))
-    for sample in dataset:
-        store.put(f"img{sample.index}", sample.render(), label=sample.label)
-    return store
+    ),
+    num_images=16,
+    seed=3,
+    quality=85,
+)
 
-
-def make_dynamic_policy() -> DynamicResolutionPolicy:
-    scale_model = mobilenet_tiny(num_classes=len(RESOLUTIONS), seed=1)
+DYNAMIC_POLICY = PolicyConfig(
+    name="dynamic",
     # The wide tie tolerance makes the (untrained) scale model prefer cheap
     # resolutions aggressively, which is what a trained one learns to do.
-    predictor = ScaleModelPredictor(
-        scale_model, RESOLUTIONS, scale_resolution=SCALE_RESOLUTION, tie_tolerance=0.15
+    scale_model=BackboneConfig(name="mobilenet-tiny", options={"seed": 1}),
+    tie_tolerance=0.15,
+)
+
+
+def make_config(policy: PolicyConfig, cache_bytes: int | None) -> EngineConfig:
+    return EngineConfig(
+        resolutions=RESOLUTIONS,
+        scale_resolution=SCALE_RESOLUTION,
+        store=STORE,
+        backbone=BackboneConfig(
+            name="resnet-tiny", options={"num_classes": 4, "base_width": 4, "seed": 0}
+        ),
+        policy=policy,
+        ssim_thresholds={24: 0.90, 32: 0.92, 48: 0.95},
+        serving=ServingConfig(
+            arrivals=ArrivalsConfig(
+                name="onoff",
+                options=dict(
+                    on_rate_rps=2500.0,
+                    mean_on_s=0.05,
+                    mean_off_s=0.2,
+                    seed=7,
+                    zipf_alpha=1.0,
+                ),
+            ),
+            num_requests=NUM_REQUESTS,
+            num_workers=2,
+            max_batch_size=4,
+            max_wait_s=0.004,
+            scale_model_seconds=0.0004,
+            cache=None if cache_bytes is None else CacheConfig(capacity_bytes=cache_bytes),
+            batch_cost=BatchCostConfig(name="hwsim", machine="4790K"),
+        ),
     )
-    return DynamicResolutionPolicy(predictor)
+
+
+SCENARIOS = [
+    ("static-48", make_config(PolicyConfig(name="static", resolution=48), None)),
+    ("dynamic", make_config(DYNAMIC_POLICY, None)),
+    ("dynamic+cache", make_config(DYNAMIC_POLICY, CACHE_BYTES)),
+    (
+        "dynamic+cache+adaptive",
+        make_config(
+            PolicyConfig(
+                name="dynamic",
+                scale_model=BackboneConfig(name="mobilenet-tiny", options={"seed": 1}),
+                tie_tolerance=0.15,
+                adaptive=AdaptiveConfig(queue_threshold=6),
+            ),
+            CACHE_BYTES,
+        ),
+    ),
+]
 
 
 def main() -> None:
-    store = build_store()
+    # Build the world once and share it: every scenario serves the same
+    # store, backbone and (seeded) traffic trace.
+    base = Engine(SCENARIOS[0][1])
+    store = base.build_store()
+    backbone = base.build_backbone()
+    trace = base.build_trace()
     print(
         f"store: {len(store)} images, {store.total_bytes_stored / 1e6:.2f} MB; "
         f"serving {NUM_REQUESTS} bursty requests"
     )
 
-    backbone = resnet_tiny(num_classes=4, base_width=4, seed=0)
-    read_policy = ScanReadPolicy(ssim_thresholds={24: 0.90, 32: 0.92, 48: 0.95})
-    batch_cost = HwSimBatchCost(backbone, INTEL_4790K, kernel_source="library")
-    config = ServerConfig(
-        resolutions=RESOLUTIONS,
-        scale_resolution=SCALE_RESOLUTION,
-        num_workers=2,
-        max_batch_size=4,
-        max_wait_s=0.004,
-        scale_model_seconds=0.0004,
-    )
-    trace = OnOffArrivals(
-        on_rate_rps=2500.0, mean_on_s=0.05, mean_off_s=0.2, seed=7, zipf_alpha=1.0
-    ).trace(store.keys(), NUM_REQUESTS)
-
-    scenarios = [
-        ("static-48", lambda: StaticResolutionPolicy(48), None),
-        ("dynamic", make_dynamic_policy, None),
-        ("dynamic+cache", make_dynamic_policy, lambda: ScanCache(CACHE_BYTES)),
-        (
-            "dynamic+cache+adaptive",
-            lambda: LoadAdaptiveResolutionPolicy(
-                make_dynamic_policy(), RESOLUTIONS, queue_threshold=6
-            ),
-            lambda: ScanCache(CACHE_BYTES),
-        ),
-    ]
-
     rows = []
     reports = {}
-    for name, make_policy, make_cache in scenarios:
-        server = InferenceServer(
-            store,
-            backbone,
-            make_policy(),
-            config,
-            read_policy=read_policy,
-            cache=make_cache() if make_cache else None,
-            batch_cost=batch_cost,
-        )
-        report = server.run(trace)
+    for name, config in SCENARIOS:
+        engine = Engine(config, store=store, backbone=backbone)
+        report = engine.serve(trace)
         reports[name] = report
         rows.append(
             [

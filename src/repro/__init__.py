@@ -16,10 +16,19 @@ the dynamic-resolution pipeline built on top of them:
 * :mod:`repro.serving` — online serving: deterministic discrete-event
   simulator with scan-granular caching, dynamic batching, a bounded worker
   pool, and load-adaptive resolution policies;
-* :mod:`repro.analysis` — Pareto frontiers and paper-style table/figure builders.
+* :mod:`repro.analysis` — Pareto frontiers and paper-style table/figure builders;
+* :mod:`repro.api` — the unified facade: component registries, declarative
+  JSON configs, the :class:`~repro.api.engine.Engine`, and the
+  ``python -m repro`` CLI.
+
+The facade is re-exported here (``repro.Engine``, ``repro.EngineConfig``,
+``repro.registry``) and resolved lazily so that ``import repro`` stays
+cheap and the component modules can self-register without import cycles.
 """
 
-__version__ = "1.0.0"
+from typing import Any
+
+__version__ = "1.1.0"
 
 PAPER_RESOLUTIONS = (112, 168, 224, 280, 336, 392, 448)
 """The seven inference resolutions evaluated throughout the paper."""
@@ -27,4 +36,23 @@ PAPER_RESOLUTIONS = (112, 168, 224, 280, 336, 392, 448)
 PAPER_CROP_RATIOS = (0.25, 0.56, 0.75, 1.00)
 """The center-crop area ratios used in the paper's accuracy/FLOPs study."""
 
-__all__ = ["PAPER_RESOLUTIONS", "PAPER_CROP_RATIOS", "__version__"]
+_API_EXPORTS = ("Engine", "EngineConfig", "registry")
+
+__all__ = [
+    "PAPER_RESOLUTIONS",
+    "PAPER_CROP_RATIOS",
+    "__version__",
+    *_API_EXPORTS,
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _API_EXPORTS:
+        import repro.api
+
+        return getattr(repro.api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

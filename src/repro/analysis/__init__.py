@@ -9,8 +9,10 @@ from repro.analysis.pareto import ParetoPoint, is_pareto_optimal, pareto_frontie
 from repro.analysis.report import format_table
 from repro.analysis.experiments import (
     AccuracyFlopsPoint,
+    Fig2Row,
     Fig6Curve,
     ReadSavingsRow,
+    build_fig2_rows,
     build_fig6_curves,
     build_fig7_series,
     build_fig8_fig9_points,
@@ -27,8 +29,10 @@ __all__ = [
     "is_pareto_optimal",
     "format_table",
     "AccuracyFlopsPoint",
+    "Fig2Row",
     "Fig6Curve",
     "ReadSavingsRow",
+    "build_fig2_rows",
     "build_table1_rows",
     "build_table2_rows",
     "build_fig6_curves",

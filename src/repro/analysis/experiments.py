@@ -19,16 +19,16 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.api.registry import BACKBONES, PROFILES
 from repro.codec.progressive import ProgressiveEncoder, ProgressiveImage
 from repro.core.calibration import StorageCalibrator
 from repro.data.dataset import SyntheticDataset
 from repro.data.profiles import CARS_LIKE, IMAGENET_LIKE, DatasetProfile
 from repro.hwsim.latency import LatencyBreakdown, ModelLatencyEstimator
 from repro.hwsim.machine import MachineModel
+from repro.imaging.metrics import psnr, ssim
 from repro.nn.flops import count_model_gflops
-from repro.nn.mobilenet import mobilenet_v2
 from repro.nn.module import Module
-from repro.nn.resnet import resnet18, resnet50
 from repro.surrogate.anchors import RESOLUTIONS
 from repro.surrogate.per_image import PerImageOracle, SimulatedScaleModel
 from repro.surrogate.quality import QualityDegradationModel
@@ -40,13 +40,17 @@ SCALE_MODEL_RESOLUTION = 112
 _PROFILES = {"imagenet": IMAGENET_LIKE, "cars": CARS_LIKE}
 
 
+def _resolve_profile(name: str) -> DatasetProfile:
+    """A profile by legacy dataset alias ("imagenet") or registry name."""
+    if name in _PROFILES:
+        return _PROFILES[name]
+    return PROFILES.get(name)
+
+
 @lru_cache(maxsize=4)
 def reference_model(name: str) -> Module:
-    """Build (and cache) one of the paper's reference architectures."""
-    factories = {"resnet18": resnet18, "resnet50": resnet50, "mobilenetv2": mobilenet_v2}
-    if name not in factories:
-        raise KeyError(f"unknown reference model {name!r}")
-    return factories[name]()
+    """Build (and cache) a reference architecture from the backbone registry."""
+    return BACKBONES.build(name)
 
 
 @lru_cache(maxsize=16)
@@ -58,6 +62,47 @@ def model_gflops(name: str, resolution: int) -> float:
 def scale_model_gflops() -> float:
     """Cost of the scale model (MobileNetV2 @ 112), ~0.08 GFLOPs in the paper."""
     return model_gflops("mobilenetv2", SCALE_MODEL_RESOLUTION)
+
+
+# ---------------------------------------------------------------------------
+# Fig 2 — progressive scans versus cumulative bytes and decoded quality
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    """One scan prefix of Fig 2: cumulative bytes and decoded quality."""
+
+    scans: int
+    cumulative_bytes: int
+    relative_read_size: float
+    ssim: float
+    psnr_db: float
+
+
+def build_fig2_rows(
+    profile: str = "imagenet-like",
+    render_resolution: int = 448,
+    quality: int = 85,
+    seed: int = 3,
+) -> list[Fig2Row]:
+    """Fig 2: per-scan cumulative bytes and SSIM/PSNR of one progressive encoding."""
+    sample = SyntheticDataset(_resolve_profile(profile), size=1, seed=seed)[0]
+    image = sample.render(render_resolution)
+    encoded = ProgressiveEncoder(quality=quality).encode(image)
+    rows = []
+    for scans in range(1, encoded.num_scans + 1):
+        decoded = encoded.decode(scans)
+        rows.append(
+            Fig2Row(
+                scans=scans,
+                cumulative_bytes=encoded.cumulative_bytes(scans),
+                relative_read_size=encoded.relative_read_size(scans),
+                ssim=ssim(image, decoded),
+                psnr_db=psnr(image, decoded),
+            )
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------

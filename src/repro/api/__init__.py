@@ -1,0 +1,65 @@
+"""Unified facade: registries, declarative configs, an engine, and a CLI.
+
+One entry point for every experiment and serving scenario in the repo:
+
+* :mod:`repro.api.registry` — decorator-based registries mapping stable
+  string names to backbones, resolution policies, arrival processes, cache
+  tiers, batchers, batch cost models, machine models, dataset profiles and
+  experiments (implementations self-register at definition time);
+* :mod:`repro.api.config` — nested, validated, JSON-round-trippable
+  dataclasses (:class:`EngineConfig`, :class:`ServingConfig`,
+  :class:`ExperimentConfig`, ...) describing a complete scenario;
+* :mod:`repro.api.engine` — the :class:`Engine` facade that builds the
+  pipeline/server/experiment from a config and exposes ``run_experiment``,
+  ``serve`` and ``sweep``;
+* :mod:`repro.api.cli` — ``python -m repro run|serve|sweep|list-components``.
+
+This ``__init__`` resolves its exports lazily (PEP 562): the component
+modules import :mod:`repro.api.registry` at definition time to register
+themselves, and an eager import of the engine here would cycle back into
+whichever package is mid-import.  Accessing any name below pulls in the
+full facade (and thereby populates every registry).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_CONFIG_EXPORTS = (
+    "AdaptiveConfig",
+    "ArrivalsConfig",
+    "BackboneConfig",
+    "BatchCostConfig",
+    "CacheConfig",
+    "EngineConfig",
+    "ExperimentConfig",
+    "PolicyConfig",
+    "ServingConfig",
+    "StoreConfig",
+    "load_config",
+)
+_ENGINE_EXPORTS = ("Engine", "ExperimentResult", "SweepPoint")
+
+__all__ = [*_CONFIG_EXPORTS, *_ENGINE_EXPORTS, "registry"]
+
+
+def __getattr__(name: str) -> Any:
+    if name == "registry":
+        # Populate the registries before handing the module out.
+        from repro.api import components  # noqa: F401
+        from repro.api import registry
+
+        return registry
+    if name in _CONFIG_EXPORTS:
+        from repro.api import config
+
+        return getattr(config, name)
+    if name in _ENGINE_EXPORTS:
+        from repro.api import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,8 @@
+"""``python -m repro.api`` — same CLI as ``python -m repro``."""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""The ``repro`` command line: run experiments and serving scenarios from JSON.
+
+Usage (``python -m repro ...``):
+
+* ``run <config.json> [--experiment NAME]`` — run the config's named
+  experiment (a paper table/figure) and print its deterministic table;
+* ``serve <config.json>`` — build the serving tier and drive the configured
+  traffic through the discrete-event simulator; prints the SLO report;
+* ``sweep <config.json> [--param path=v1,v2,...]`` — serve every point of
+  the override grid (from the config's ``sweep`` section and/or ``--param``
+  flags) and print one summary row per point;
+* ``list-components`` — print every registry and its registered names.
+
+All output is deterministic under the config's seeds, so runs are diffable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.api import components  # noqa: F401  (populates the registries)
+from repro.api.config import load_config
+from repro.api.engine import Engine
+from repro.api.registry import all_registries
+from repro.analysis.report import format_table
+
+
+def _parse_param(text: str) -> tuple[str, list]:
+    """Parse ``path=v1,v2,...`` into a sweep grid entry (values via JSON)."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"--param wants path=v1,v2,... got {text!r}"
+        )
+    path, _, raw_values = text.partition("=")
+    values = []
+    for raw in raw_values.split(","):
+        try:
+            values.append(json.loads(raw))
+        except json.JSONDecodeError:
+            values.append(raw)  # bare strings are allowed unquoted
+    return path, values
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    engine = Engine(load_config(args.config))
+    result = engine.run_experiment(args.experiment)
+    print(result.format())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    engine = Engine(load_config(args.config))
+    report = engine.serve()
+    config = engine.config
+    print(f"config                 {args.config}")
+    print(f"policy                 {config.policy.name}")
+    arrivals = config.serving.arrivals if config.serving else None
+    if arrivals is not None:
+        print(f"traffic                {arrivals.name}")
+    print(report.format())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    engine = Engine(load_config(args.config))
+    grid = dict(engine.config.sweep)
+    for path, values in args.param or []:
+        grid[path] = values
+    points = engine.sweep(grid)
+    paths = sorted(grid)
+    rows = [
+        [
+            *[point.overrides[path] for path in paths],
+            point.report.throughput_rps,
+            point.report.p50_latency_ms,
+            point.report.p99_latency_ms,
+            point.report.bytes_from_store / 1e3,
+            100.0 * point.report.relative_bytes_saved,
+        ]
+        for point in points
+    ]
+    print(
+        format_table(
+            [*paths, "req/s", "p50 ms", "p99 ms", "store KB", "bytes saved %"],
+            rows,
+            float_format="{:.1f}",
+        )
+    )
+    return 0
+
+
+def cmd_list_components(args: argparse.Namespace) -> int:
+    for key, registry in sorted(all_registries().items()):
+        names = ", ".join(registry.names()) or "<none>"
+        print(f"{key:<20} {names}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiments and serving scenarios from JSON configs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run a named experiment from a config")
+    run.add_argument("config", help="path to an EngineConfig JSON file")
+    run.add_argument(
+        "--experiment",
+        default=None,
+        help="experiment name (default: the config's experiment section)",
+    )
+    run.set_defaults(func=cmd_run)
+
+    serve = commands.add_parser("serve", help="serve the configured traffic")
+    serve.add_argument("config", help="path to an EngineConfig JSON file")
+    serve.set_defaults(func=cmd_serve)
+
+    sweep = commands.add_parser("sweep", help="serve a grid of config overrides")
+    sweep.add_argument("config", help="path to an EngineConfig JSON file")
+    sweep.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        metavar="PATH=V1,V2,...",
+        help="add/override one sweep dimension (dotted config path)",
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    list_components = commands.add_parser(
+        "list-components", help="print every registry and its names"
+    )
+    list_components.set_defaults(func=cmd_list_components)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

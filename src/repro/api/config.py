@@ -1,0 +1,421 @@
+"""Declarative, validated, JSON-round-trippable scenario configs.
+
+A config describes a complete scenario — which components to use (by their
+registry names) and with what parameters — without constructing anything.
+The :class:`~repro.api.engine.Engine` turns a config into live objects.
+
+Every config class supports ``to_dict()`` / ``from_dict()`` and JSON
+round-trips: ``EngineConfig.from_dict(config.to_dict()) == config`` and
+``EngineConfig.from_json(config.to_json()) == config``.  Validation happens
+in ``__post_init__`` and raises :class:`ValueError` with a message naming
+the offending field, so a bad config file fails at load time, not mid-run.
+
+Component *names* (backbone, arrivals, cache, ...) are validated against
+the registries by the engine at build time, where the registries are
+guaranteed to be populated; configs validate everything that can be checked
+without imports — positivity, ranges, and cross-field consistency such as
+unknown resolutions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _clean_dict(value: Any) -> Any:
+    """Recursively convert a config object into plain dicts/lists/scalars."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _clean_dict(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, dict):
+        return {key: _clean_dict(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean_dict(item) for item in value]
+    return value
+
+
+def _pop_section(data: dict, name: str, cls: type, default: Any = None) -> Any:
+    section = data.pop(name, None)
+    if section is None:
+        return default
+    if isinstance(section, cls):
+        return section
+    return cls.from_dict(section)
+
+
+def _reject_unknown_keys(cls: type, data: dict) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}; "
+            f"known fields: {', '.join(sorted(known))}"
+        )
+
+
+class _DictMixin:
+    """Shared ``to_dict``/``to_json`` plumbing for every config class."""
+
+    def to_dict(self) -> dict:
+        return _clean_dict(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Component sections
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreConfig(_DictMixin):
+    """A synthetic progressive image store: dataset profile + encoder knobs.
+
+    ``overrides`` patches fields of the named preset profile
+    (``dataclasses.replace``), which is how scenarios shrink images for a
+    fast demo without defining whole new presets.
+    """
+
+    profile: str = "imagenet-like"
+    overrides: dict = field(default_factory=dict)
+    num_images: int = 16
+    seed: int = 0
+    quality: int | None = None
+
+    def __post_init__(self) -> None:
+        from repro.data.profiles import DatasetProfile
+
+        known = {f.name for f in fields(DatasetProfile)}
+        unknown = sorted(set(self.overrides) - known)
+        _require(
+            not unknown,
+            f"unknown store.overrides field(s): {', '.join(unknown)}; "
+            f"DatasetProfile fields are: {', '.join(sorted(known))}",
+        )
+        _require(self.num_images > 0, "store.num_images must be positive")
+        _require(
+            self.quality is None or 1 <= self.quality <= 100,
+            "store.quality must be in [1, 100]",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class BackboneConfig(_DictMixin):
+    """A model by registry name plus factory keyword arguments."""
+
+    name: str = "resnet-tiny"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "backbone.name must be non-empty")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BackboneConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig(_DictMixin):
+    """Load-adaptive degradation wrapped around the per-image policy."""
+
+    queue_threshold: int = 8
+    max_degradation_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.queue_threshold > 0, "adaptive.queue_threshold must be positive")
+        _require(
+            self.max_degradation_steps is None or self.max_degradation_steps >= 0,
+            "adaptive.max_degradation_steps must be non-negative",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdaptiveConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PolicyConfig(_DictMixin):
+    """Resolution selection: static or dynamic, optionally load-adaptive.
+
+    ``resolution`` (static only) defaults to the highest candidate
+    resolution; ``scale_model`` (dynamic only) names the scale-model
+    backbone, whose ``num_classes`` defaults to the number of candidate
+    resolutions.
+    """
+
+    name: str = "static"
+    resolution: int | None = None
+    scale_model: BackboneConfig = field(
+        default_factory=lambda: BackboneConfig(name="mobilenet-tiny")
+    )
+    tie_tolerance: float = 0.02
+    adaptive: AdaptiveConfig | None = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "policy.name must be non-empty")
+        _require(
+            self.resolution is None or self.resolution > 0,
+            "policy.resolution must be positive",
+        )
+        _require(self.tie_tolerance >= 0, "policy.tie_tolerance must be non-negative")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        data["scale_model"] = _pop_section(
+            data, "scale_model", BackboneConfig, BackboneConfig(name="mobilenet-tiny")
+        )
+        data["adaptive"] = _pop_section(data, "adaptive", AdaptiveConfig)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ArrivalsConfig(_DictMixin):
+    """Traffic shape by registry name plus process keyword arguments."""
+
+    name: str = "poisson"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "arrivals.name must be non-empty")
+        for option in ("rate_rps", "on_rate_rps", "num_clients"):
+            value = self.options.get(option)
+            _require(
+                value is None or (isinstance(value, (int, float)) and value > 0),
+                f"arrivals.options.{option} must be a positive number",
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArrivalsConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CacheConfig(_DictMixin):
+    """Cache tier by registry name plus its byte capacity."""
+
+    name: str = "scan-lru"
+    capacity_bytes: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "cache.name must be non-empty")
+        _require(self.capacity_bytes > 0, "cache.capacity_bytes must be positive")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class BatchCostConfig(_DictMixin):
+    """Batch execution pricing: linear (tests) or hwsim (analytical model)."""
+
+    name: str = "linear"
+    machine: str = "4790K"
+    kernel_source: str = "library"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "batch_cost.name must be non-empty")
+        _require(
+            self.kernel_source in ("library", "tuned"),
+            "batch_cost.kernel_source must be 'library' or 'tuned'",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchCostConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ServingConfig(_DictMixin):
+    """The serving tier: traffic, worker pool, batching, cache, pricing."""
+
+    arrivals: ArrivalsConfig = field(default_factory=ArrivalsConfig)
+    num_requests: int = 100
+    num_workers: int = 2
+    max_batch_size: int = 4
+    max_wait_s: float = 0.005
+    scale_model_seconds: float = 0.0
+    cache: CacheConfig | None = None
+    batch_cost: BatchCostConfig = field(default_factory=BatchCostConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.num_requests > 0, "serving.num_requests must be positive")
+        _require(self.num_workers > 0, "serving.num_workers must be positive")
+        _require(self.max_batch_size > 0, "serving.max_batch_size must be positive")
+        _require(self.max_wait_s >= 0, "serving.max_wait_s must be non-negative")
+        _require(
+            self.scale_model_seconds >= 0,
+            "serving.scale_model_seconds must be non-negative",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        data["arrivals"] = _pop_section(data, "arrivals", ArrivalsConfig, ArrivalsConfig())
+        data["cache"] = _pop_section(data, "cache", CacheConfig)
+        data["batch_cost"] = _pop_section(
+            data, "batch_cost", BatchCostConfig, BatchCostConfig()
+        )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig(_DictMixin):
+    """A named experiment (registry name) plus builder options."""
+
+    name: str = "fig2"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "experiment.name must be non-empty")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# The top-level config
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineConfig(_DictMixin):
+    """Everything an :class:`~repro.api.engine.Engine` needs for a scenario.
+
+    ``resolutions`` is the candidate ladder shared by the policy, the read
+    calibration and the server; ``ssim_thresholds`` maps a subset of those
+    resolutions to calibrated read thresholds (absent resolutions read all
+    scans).  ``serving`` and ``experiment`` are optional sections — a config
+    may describe either or both.  ``sweep`` maps dotted config paths (e.g.
+    ``"serving.cache.capacity_bytes"``) to lists of values for
+    :meth:`Engine.sweep`.
+    """
+
+    resolutions: tuple[int, ...] = (24, 32, 48)
+    scale_resolution: int | None = None
+    crop_ratio: float = 0.75
+    store: StoreConfig = field(default_factory=StoreConfig)
+    backbone: BackboneConfig = field(default_factory=BackboneConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
+    ssim_thresholds: dict[int, float] = field(default_factory=dict)
+    serving: ServingConfig | None = None
+    experiment: ExperimentConfig | None = None
+    sweep: dict[str, list] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.resolutions), "resolutions must be non-empty")
+        _require(
+            all(resolution > 0 for resolution in self.resolutions),
+            "resolutions must be positive",
+        )
+        _require(
+            len(set(self.resolutions)) == len(self.resolutions),
+            "resolutions must be unique",
+        )
+        _require(
+            self.scale_resolution is None or self.scale_resolution in self.resolutions,
+            f"scale_resolution {self.scale_resolution} is not one of the "
+            f"candidate resolutions {tuple(sorted(self.resolutions))}",
+        )
+        _require(0.0 < self.crop_ratio <= 1.0, "crop_ratio must be in (0, 1]")
+        _require(
+            self.policy.resolution is None
+            or self.policy.resolution in self.resolutions,
+            f"policy.resolution {self.policy.resolution} is not one of the "
+            f"candidate resolutions {tuple(sorted(self.resolutions))}",
+        )
+        unknown = sorted(set(self.ssim_thresholds) - set(self.resolutions))
+        _require(
+            not unknown,
+            f"ssim_thresholds name unknown resolution(s) {unknown}; "
+            f"candidates are {tuple(sorted(self.resolutions))}",
+        )
+        for resolution, threshold in self.ssim_thresholds.items():
+            _require(
+                0.0 < threshold <= 1.0,
+                f"ssim_thresholds[{resolution}] must be in (0, 1], got {threshold}",
+            )
+        for path, values in self.sweep.items():
+            _require(
+                isinstance(values, (list, tuple)) and len(values) > 0,
+                f"sweep[{path!r}] must be a non-empty list of values",
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        if "resolutions" in data:
+            data["resolutions"] = tuple(data["resolutions"])
+        data["store"] = _pop_section(data, "store", StoreConfig, StoreConfig())
+        data["backbone"] = _pop_section(data, "backbone", BackboneConfig, BackboneConfig())
+        data["policy"] = _pop_section(data, "policy", PolicyConfig, PolicyConfig())
+        data["serving"] = _pop_section(data, "serving", ServingConfig)
+        data["experiment"] = _pop_section(data, "experiment", ExperimentConfig)
+        thresholds = data.pop("ssim_thresholds", None)
+        if thresholds is not None:
+            # JSON object keys are strings; config keys are resolutions.
+            data["ssim_thresholds"] = {
+                int(resolution): float(threshold)
+                for resolution, threshold in thresholds.items()
+            }
+        sweep = data.pop("sweep", None)
+        if sweep is not None:
+            data["sweep"] = {path: list(values) for path, values in sweep.items()}
+        return cls(**data)
+
+    def with_overrides(self, overrides: dict[str, Any]) -> "EngineConfig":
+        """A new config with dotted-path overrides applied (used by sweeps)."""
+        data = self.to_dict()
+        for path, value in overrides.items():
+            cursor = data
+            parts = path.split(".")
+            for part in parts[:-1]:
+                if not isinstance(cursor.get(part), dict):
+                    raise KeyError(f"no config section {part!r} along path {path!r}")
+                cursor = cursor[part]
+            if parts[-1] not in cursor:
+                raise KeyError(f"no config field {parts[-1]!r} along path {path!r}")
+            cursor[parts[-1]] = value
+        return EngineConfig.from_dict(data)
+
+
+def load_config(path: str) -> EngineConfig:
+    """Read an :class:`EngineConfig` from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return EngineConfig.from_dict(json.load(handle))

@@ -1,0 +1,269 @@
+"""The :class:`Engine` facade: build and run any scenario from one config.
+
+The engine owns the composition the paper argues for — progressive store +
+scale-model resolution policy + calibrated scan reads + hardware-priced
+batching — and exposes three verbs:
+
+* :meth:`Engine.run_experiment` — run a named experiment (paper table or
+  figure) from the :data:`~repro.api.registry.EXPERIMENTS` registry;
+* :meth:`Engine.serve` — build the serving tier and drive a seeded traffic
+  trace through the discrete-event simulator, returning an
+  :class:`~repro.serving.metrics.SLOReport`;
+* :meth:`Engine.sweep` — re-run :meth:`serve` over a grid of dotted-path
+  config overrides (e.g. cache capacity, arrival rate).
+
+Everything is deterministic under the config's seeds: the same config
+produces byte-identical reports, which is what makes the CLI's output
+diffable.  Construction is lazy and memoized — ``build_store()`` et al. can
+also be used piecemeal when composing by hand; pass prebuilt ``store``/
+``backbone`` objects to share expensive pieces across engines (the example
+and benchmark shims do this to serve one store under many policies).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.api import components  # noqa: F401  (populates the registries)
+from repro.api.config import EngineConfig, load_config
+from repro.api.experiments import ExperimentResult
+from repro.api.registry import (
+    ARRIVALS,
+    BACKBONES,
+    BATCH_COSTS,
+    CACHES,
+    EXPERIMENTS,
+    MACHINES,
+    PROFILES,
+    RESOLUTION_POLICIES,
+)
+from repro.codec.progressive import ProgressiveEncoder
+from repro.core.policies import ResolutionPolicy
+from repro.core.scale_model import ScaleModelPredictor
+from repro.data.dataset import SyntheticDataset
+from repro.nn.module import Module
+from repro.serving.arrivals import ClosedLoopClients, Request
+from repro.serving.batcher import BatchCostModel
+from repro.serving.cache import ScanCache
+from repro.serving.metrics import SLOReport
+from repro.serving.server import InferenceServer, ServerConfig
+from repro.storage.policy import ScanReadPolicy
+from repro.storage.store import ImageStore
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep: the overrides applied and the report."""
+
+    overrides: dict
+    report: SLOReport
+
+
+class Engine:
+    """Build pipelines, servers and experiments from an :class:`EngineConfig`."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        store: ImageStore | None = None,
+        backbone: Module | None = None,
+    ) -> None:
+        self.config = config
+        self._store = store
+        self._backbone = backbone
+        self._read_policy: ScanReadPolicy | None = None
+
+    @classmethod
+    def from_file(cls, path: str) -> "Engine":
+        return cls(load_config(path))
+
+    # -- component builders -----------------------------------------------------
+    @property
+    def resolutions(self) -> tuple[int, ...]:
+        return tuple(sorted(self.config.resolutions))
+
+    @property
+    def scale_resolution(self) -> int:
+        return self.config.scale_resolution or min(self.resolutions)
+
+    def build_store(self) -> ImageStore:
+        """Synthetic progressive store described by ``config.store`` (memoized)."""
+        if self._store is None:
+            section = self.config.store
+            profile = PROFILES.get(section.profile)
+            if section.overrides:
+                profile = replace(profile, **section.overrides)
+            dataset = SyntheticDataset(profile, size=section.num_images, seed=section.seed)
+            quality = section.quality or profile.base_quality
+            store = ImageStore(encoder=ProgressiveEncoder(quality=quality))
+            for sample in dataset:
+                store.put(f"img{sample.index}", sample.render(), label=sample.label)
+            self._store = store
+        return self._store
+
+    def build_backbone(self) -> Module:
+        if self._backbone is None:
+            section = self.config.backbone
+            self._backbone = BACKBONES.build(section.name, **section.options)
+        return self._backbone
+
+    def build_scale_model(self) -> Module:
+        section = self.config.policy.scale_model
+        options = dict(section.options)
+        options.setdefault("num_classes", len(self.resolutions))
+        return BACKBONES.build(section.name, **options)
+
+    def build_policy(self) -> ResolutionPolicy:
+        """The per-image policy, wrapped load-adaptively when configured."""
+        section = self.config.policy
+        policy_cls = RESOLUTION_POLICIES.get(section.name)
+        if section.name == "static":
+            resolution = section.resolution or max(self.resolutions)
+            policy: ResolutionPolicy = policy_cls(resolution)
+        elif section.name == "dynamic":
+            predictor = ScaleModelPredictor(
+                self.build_scale_model(),
+                self.resolutions,
+                scale_resolution=self.scale_resolution,
+                crop_ratio=self.config.crop_ratio,
+                tie_tolerance=section.tie_tolerance,
+            )
+            policy = policy_cls(predictor)
+        else:
+            raise ValueError(
+                f"policy {section.name!r} cannot be built declaratively; "
+                "use 'static' or 'dynamic' (oracle policies need ground truth)"
+            )
+        if section.adaptive is not None:
+            policy = RESOLUTION_POLICIES.get("load-adaptive")(
+                policy,
+                self.resolutions,
+                queue_threshold=section.adaptive.queue_threshold,
+                max_degradation_steps=section.adaptive.max_degradation_steps,
+            )
+        return policy
+
+    def build_read_policy(self) -> ScanReadPolicy:
+        """Calibrated scan-read policy (memoized: its SSIM cache is the point)."""
+        if self._read_policy is None:
+            self._read_policy = ScanReadPolicy(
+                ssim_thresholds=dict(self.config.ssim_thresholds)
+            )
+        return self._read_policy
+
+    def build_cache(self) -> ScanCache | None:
+        serving = self._serving_section()
+        if serving.cache is None:
+            return None
+        return CACHES.get(serving.cache.name)(capacity_bytes=serving.cache.capacity_bytes)
+
+    def build_batch_cost(self) -> BatchCostModel:
+        section = self._serving_section().batch_cost
+        if section.name == "hwsim":
+            return BATCH_COSTS.get("hwsim")(
+                self.build_backbone(),
+                MACHINES.get(section.machine),
+                kernel_source=section.kernel_source,
+                **section.options,
+            )
+        return BATCH_COSTS.build(section.name, **section.options)
+
+    def build_server(self) -> InferenceServer:
+        """The full serving tier of ``config.serving`` over this engine's store."""
+        serving = self._serving_section()
+        server_config = ServerConfig(
+            resolutions=self.resolutions,
+            scale_resolution=self.scale_resolution,
+            num_workers=serving.num_workers,
+            max_batch_size=serving.max_batch_size,
+            max_wait_s=serving.max_wait_s,
+            scale_model_seconds=serving.scale_model_seconds,
+            crop_ratio=self.config.crop_ratio,
+        )
+        return InferenceServer(
+            self.build_store(),
+            self.build_backbone(),
+            self.build_policy(),
+            server_config,
+            read_policy=self.build_read_policy(),
+            cache=self.build_cache(),
+            batch_cost=self.build_batch_cost(),
+        )
+
+    def build_trace(self) -> list[Request] | ClosedLoopClients:
+        """The configured traffic: a pre-generated trace, or closed-loop clients."""
+        serving = self._serving_section()
+        process = ARRIVALS.build(serving.arrivals.name, **serving.arrivals.options)
+        if isinstance(process, ClosedLoopClients):
+            return process
+        return process.trace(self.build_store().keys(), serving.num_requests)
+
+    def _serving_section(self):
+        if self.config.serving is None:
+            raise ValueError(
+                "this config has no 'serving' section; add one to serve or sweep"
+            )
+        return self.config.serving
+
+    # -- the three verbs ----------------------------------------------------------
+    def serve(
+        self, trace: Sequence[Request] | ClosedLoopClients | None = None
+    ) -> SLOReport:
+        """Serve the configured (or given) traffic; returns the SLO report."""
+        server = self.build_server()
+        traffic = self.build_trace() if trace is None else trace
+        if isinstance(traffic, ClosedLoopClients):
+            return server.run_closed_loop(traffic, self.build_store().keys())
+        return server.run(traffic)
+
+    def run_experiment(self, name: str | None = None, **overrides) -> ExperimentResult:
+        """Run a named experiment (default: the config's ``experiment`` section).
+
+        The config's ``experiment.options`` only apply to the experiment they
+        name — running a *different* experiment by name starts from that
+        experiment's own defaults plus the keyword ``overrides``.
+        """
+        section = self.config.experiment
+        if name is None:
+            if section is None:
+                raise ValueError(
+                    "this config has no 'experiment' section; pass a name explicitly"
+                )
+            name = section.name
+        options = (
+            dict(section.options) if section is not None and section.name == name else {}
+        )
+        options.update(overrides)
+        builder = EXPERIMENTS.get(name)
+        return builder(self, options)
+
+    def sweep(self, param_grid: dict[str, list] | None = None) -> list[SweepPoint]:
+        """Serve every point of a dotted-path override grid, in a stable order."""
+        grid = dict(param_grid if param_grid is not None else self.config.sweep)
+        if not grid:
+            raise ValueError(
+                "no sweep grid: pass param_grid or add a 'sweep' section to the config"
+            )
+        paths = sorted(grid)
+        # Expensive pieces are shared across grid points unless an override
+        # actually changes how they are built.
+        shared_store = (
+            None if any(path.split(".")[0] == "store" for path in paths)
+            else self.build_store()
+        )
+        shared_backbone = (
+            None if any(path.split(".")[0] == "backbone" for path in paths)
+            else self.build_backbone()
+        )
+        points = []
+        for values in itertools.product(*(grid[path] for path in paths)):
+            overrides = dict(zip(paths, values))
+            engine = Engine(
+                self.config.with_overrides(overrides),
+                store=shared_store,
+                backbone=shared_backbone,
+            )
+            points.append(SweepPoint(overrides=overrides, report=engine.serve()))
+        return points

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import RESOLUTION_POLICIES
 from repro.core.scale_model import ScaleModelPredictor
 
 
@@ -28,6 +29,7 @@ class ResolutionPolicy:
         raise NotImplementedError
 
 
+@RESOLUTION_POLICIES.register("static")
 class StaticResolutionPolicy(ResolutionPolicy):
     """Always use one fixed resolution."""
 
@@ -41,6 +43,7 @@ class StaticResolutionPolicy(ResolutionPolicy):
         return self.resolution
 
 
+@RESOLUTION_POLICIES.register("dynamic")
 class DynamicResolutionPolicy(ResolutionPolicy):
     """Use a trained scale model to pick the resolution per image."""
 
@@ -58,6 +61,7 @@ class DynamicResolutionPolicy(ResolutionPolicy):
         return resolution
 
 
+@RESOLUTION_POLICIES.register("oracle")
 class OracleResolutionPolicy(ResolutionPolicy):
     """Pick the cheapest resolution at which the backbone is actually correct.
 

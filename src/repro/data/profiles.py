@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import PROFILES
+
 
 @dataclass(frozen=True)
 class DatasetProfile:
@@ -89,13 +91,10 @@ CARS_LIKE = DatasetProfile(
     detail_sensitivity=0.45,
 )
 
-_PROFILES = {profile.name: profile for profile in (IMAGENET_LIKE, CARS_LIKE)}
+for _profile in (IMAGENET_LIKE, CARS_LIKE):
+    PROFILES.register(_profile.name, _profile)
 
 
 def get_profile(name: str) -> DatasetProfile:
     """Look up a preset profile by name (``"imagenet-like"`` or ``"cars-like"``)."""
-    try:
-        return _PROFILES[name]
-    except KeyError:
-        known = ", ".join(sorted(_PROFILES))
-        raise KeyError(f"unknown dataset profile {name!r}; known profiles: {known}") from None
+    return PROFILES.get(name)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import MACHINES
+
 
 @dataclass(frozen=True)
 class MachineModel:
@@ -94,13 +96,10 @@ AMD_2990WX = MachineModel(
     numa_nodes=4,  # half the dies have no local memory channel
 )
 
-_MACHINES = {machine.name: machine for machine in (INTEL_4790K, AMD_2990WX)}
+for _machine in (INTEL_4790K, AMD_2990WX):
+    MACHINES.register(_machine.name, _machine)
 
 
 def get_machine(name: str) -> MachineModel:
     """Look up a preset machine by name (``"4790K"`` or ``"2990WX"``)."""
-    try:
-        return _MACHINES[name]
-    except KeyError:
-        known = ", ".join(sorted(_MACHINES))
-        raise KeyError(f"unknown machine {name!r}; known machines: {known}") from None
+    return MACHINES.get(name)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import BACKBONES
 from repro.nn.layers.activations import ReLU6
 from repro.nn.layers.conv import Conv2d
 from repro.nn.layers.dropout import Dropout
@@ -196,6 +197,7 @@ class MobileNetV2(Module):
         return self.stem.backward(grad)
 
 
+@BACKBONES.register("mobilenetv2")
 def mobilenet_v2(num_classes: int = 1000, width_mult: float = 1.0, seed: int = 0) -> MobileNetV2:
     """The reference MobileNetV2 (~0.3 GMACs at 224x224, ~0.08 at 112x112)."""
     return MobileNetV2(num_classes=num_classes, width_mult=width_mult, seed=seed)
@@ -209,6 +211,7 @@ _MOBILENET_TINY_CONFIG = (
 )
 
 
+@BACKBONES.register("mobilenet-tiny")
 def mobilenet_tiny(num_classes: int = 10, seed: int = 0) -> MobileNetV2:
     """A shrunk MobileNetV2 trainable on synthetic data within a test budget."""
     model = MobileNetV2(

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import BACKBONES
 from repro.nn.layers.activations import ReLU
 from repro.nn.layers.conv import Conv2d
 from repro.nn.layers.linear import Linear
@@ -229,16 +230,19 @@ class ResNet(Module):
         return self.stem_conv.backward(grad)
 
 
+@BACKBONES.register("resnet18")
 def resnet18(num_classes: int = 1000, seed: int = 0) -> ResNet:
     """ResNet-18: BasicBlock x (2, 2, 2, 2), ~1.8 GMACs at 224x224."""
     return ResNet(BasicBlock, (2, 2, 2, 2), num_classes=num_classes, seed=seed)
 
 
+@BACKBONES.register("resnet50")
 def resnet50(num_classes: int = 1000, seed: int = 0) -> ResNet:
     """ResNet-50: Bottleneck x (3, 4, 6, 3), ~4.1 GMACs at 224x224."""
     return ResNet(Bottleneck, (3, 4, 6, 3), num_classes=num_classes, seed=seed)
 
 
+@BACKBONES.register("resnet-tiny")
 def resnet_tiny(num_classes: int = 10, base_width: int = 8, seed: int = 0) -> ResNet:
     """A narrow ResNet with the same topology, trainable on synthetic data in tests.
 

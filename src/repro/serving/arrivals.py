@@ -25,6 +25,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.registry import ARRIVALS
+
 
 @dataclass(frozen=True)
 class Request:
@@ -67,6 +69,7 @@ class ArrivalProcess:
         raise NotImplementedError
 
 
+@ARRIVALS.register("poisson")
 @dataclass(frozen=True)
 class PoissonArrivals(ArrivalProcess):
     """Open-loop Poisson traffic at ``rate_rps`` requests per second."""
@@ -90,6 +93,7 @@ class PoissonArrivals(ArrivalProcess):
         ]
 
 
+@ARRIVALS.register("onoff")
 @dataclass(frozen=True)
 class OnOffArrivals(ArrivalProcess):
     """Bursty traffic: Poisson bursts at ``on_rate_rps`` separated by lulls.
@@ -138,6 +142,7 @@ class OnOffArrivals(ArrivalProcess):
         ]
 
 
+@ARRIVALS.register("closed-loop")
 class ClosedLoopClients:
     """A fixed client population with exponential think times.
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.api.registry import BATCH_COSTS, BATCHERS
 from repro.hwsim.latency import ModelLatencyEstimator
 from repro.hwsim.machine import MachineModel
 from repro.nn.module import Module
@@ -34,6 +35,7 @@ class BatchCostModel:
         raise NotImplementedError
 
 
+@BATCH_COSTS.register("linear")
 @dataclass(frozen=True)
 class LinearBatchCost(BatchCostModel):
     """Affine cost ``fixed + per_item * batch_size`` (fast; used in tests)."""
@@ -47,6 +49,7 @@ class LinearBatchCost(BatchCostModel):
         return self.fixed_seconds + self.per_item_seconds * batch_size
 
 
+@BATCH_COSTS.register("hwsim")
 class HwSimBatchCost(BatchCostModel):
     """Price batches with the analytical hardware model of ``repro.hwsim``.
 
@@ -104,6 +107,7 @@ class _Group:
     epoch: int = 0
 
 
+@BATCHERS.register("dynamic")
 class DynamicBatcher:
     """Group opaque items by resolution under a size-or-deadline rule."""
 

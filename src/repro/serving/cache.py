@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import CACHES
 from repro.storage.store import ImageStore
 
 
@@ -65,6 +66,7 @@ class CacheRead:
     outcome: str  # "hit", "partial", or "miss"
 
 
+@CACHES.register("scan-lru")
 class ScanCache:
     """Byte-capacitated LRU cache of scan prefixes over an :class:`ImageStore`."""
 

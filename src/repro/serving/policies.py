@@ -16,9 +16,11 @@ from bisect import bisect_left
 
 import numpy as np
 
+from repro.api.registry import RESOLUTION_POLICIES
 from repro.core.policies import ResolutionPolicy
 
 
+@RESOLUTION_POLICIES.register("load-adaptive")
 class LoadAdaptiveResolutionPolicy(ResolutionPolicy):
     """Wrap a policy and step down the resolution ladder under queue pressure.
 

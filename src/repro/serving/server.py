@@ -67,8 +67,23 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if not self.resolutions:
             raise ValueError("need at least one candidate resolution")
+        if any(resolution <= 0 for resolution in self.resolutions):
+            raise ValueError("resolutions must be positive")
+        if self.scale_resolution is not None and self.scale_resolution not in self.resolutions:
+            raise ValueError(
+                f"scale_resolution {self.scale_resolution} is not one of the "
+                f"candidate resolutions {tuple(sorted(self.resolutions))}"
+            )
         if self.num_workers <= 0:
             raise ValueError("need at least one worker")
+        if self.max_batch_size <= 0:
+            raise ValueError("max batch size must be positive")
+        if self.max_wait_s < 0:
+            raise ValueError("max wait must be non-negative")
+        if self.scale_model_seconds < 0:
+            raise ValueError("scale model time must be non-negative")
+        if not 0.0 < self.crop_ratio <= 1.0:
+            raise ValueError("crop ratio must be in (0, 1]")
 
 
 @dataclass

@@ -38,6 +38,10 @@ class StorageBandwidthModel:
     def __post_init__(self) -> None:
         if self.link_gbps <= 0:
             raise ValueError("link bandwidth must be positive")
+        if self.per_request_latency_s < 0:
+            raise ValueError("per-request latency must be non-negative")
+        if self.dollars_per_gb < 0 or self.dollars_per_1k_requests < 0:
+            raise ValueError("prices must be non-negative")
 
     @property
     def bytes_per_second(self) -> float:

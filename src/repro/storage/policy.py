@@ -37,6 +37,16 @@ class ScanReadPolicy:
     ssim_thresholds: dict[int, float] = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        for resolution, threshold in self.ssim_thresholds.items():
+            if resolution <= 0:
+                raise ValueError(f"threshold resolution {resolution} must be positive")
+            if not 0.0 < threshold <= 1.0:
+                raise ValueError(
+                    f"SSIM threshold for resolution {resolution} must be in (0, 1], "
+                    f"got {threshold}"
+                )
+
     def scans_for(
         self,
         encoded: ProgressiveImage,

@@ -1,0 +1,91 @@
+"""CLI smoke tests: ``python -m repro`` as a subprocess, plus parser units."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CONFIG_DIR = REPO_ROOT / "examples" / "configs"
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=300,
+    )
+
+
+class TestSubprocessSmoke:
+    def test_list_components(self):
+        result = run_cli("list-components")
+        assert result.returncode == 0, result.stderr
+        for key in ("backbones", "arrivals", "caches", "machines", "experiments"):
+            assert key in result.stdout
+        assert "resnet18" in result.stdout
+        assert "scan-lru" in result.stdout
+
+    def test_run_fig2_is_deterministic(self):
+        first = run_cli("run", str(CONFIG_DIR / "fig2.json"))
+        second = run_cli("run", str(CONFIG_DIR / "fig2.json"))
+        assert first.returncode == 0, first.stderr
+        assert "===== fig2 =====" in first.stdout
+        assert first.stdout == second.stdout
+
+    def test_serve_bursty_is_deterministic(self):
+        first = run_cli("serve", str(CONFIG_DIR / "serving_bursty.json"))
+        second = run_cli("serve", str(CONFIG_DIR / "serving_bursty.json"))
+        assert first.returncode == 0, first.stderr
+        assert "requests served" in first.stdout
+        assert "cache hit rate" in first.stdout
+        assert first.stdout == second.stdout
+
+    def test_missing_config_file_fails_cleanly(self):
+        result = run_cli("run", "no/such/config.json")
+        assert result.returncode == 2
+        assert "error:" in result.stderr
+
+    def test_invalid_config_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"resolutions": [24, -1]}))
+        result = run_cli("serve", str(bad))
+        assert result.returncode == 2
+        assert "positive" in result.stderr
+
+
+class TestInProcess:
+    """Cheaper checks that don't need a subprocess per case."""
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_param_parsing(self):
+        args = build_parser().parse_args(
+            ["sweep", "config.json", "--param", "serving.num_workers=1,2"]
+        )
+        assert args.param == [("serving.num_workers", [1, 2])]
+
+    def test_sweep_param_accepts_bare_strings(self):
+        args = build_parser().parse_args(
+            ["sweep", "config.json", "--param", "policy.name=static,dynamic"]
+        )
+        assert args.param == [("policy.name", ["static", "dynamic"])]
+
+    def test_main_reports_config_errors_as_exit_code_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"crop_ratio": 2.0}))
+        assert main(["run", str(bad)]) == 2
+        assert "crop_ratio" in capsys.readouterr().err

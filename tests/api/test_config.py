@@ -1,0 +1,187 @@
+"""Config validation and dict/JSON round-trips."""
+
+import pytest
+
+from repro.api.config import (
+    AdaptiveConfig,
+    ArrivalsConfig,
+    BackboneConfig,
+    BatchCostConfig,
+    CacheConfig,
+    EngineConfig,
+    ExperimentConfig,
+    PolicyConfig,
+    ServingConfig,
+    StoreConfig,
+)
+
+
+def full_config() -> EngineConfig:
+    """A config exercising every section (serving + experiment + sweep)."""
+    return EngineConfig(
+        resolutions=(24, 32, 48),
+        scale_resolution=24,
+        crop_ratio=0.75,
+        store=StoreConfig(
+            profile="imagenet-like",
+            overrides={"num_classes": 4, "storage_resolution_mean": 96},
+            num_images=8,
+            seed=3,
+            quality=85,
+        ),
+        backbone=BackboneConfig(name="resnet-tiny", options={"num_classes": 4}),
+        policy=PolicyConfig(
+            name="dynamic",
+            scale_model=BackboneConfig(name="mobilenet-tiny", options={"seed": 1}),
+            tie_tolerance=0.15,
+            adaptive=AdaptiveConfig(queue_threshold=6, max_degradation_steps=2),
+        ),
+        ssim_thresholds={24: 0.9, 32: 0.92, 48: 0.95},
+        serving=ServingConfig(
+            arrivals=ArrivalsConfig(name="onoff", options={"on_rate_rps": 2500.0}),
+            num_requests=40,
+            cache=CacheConfig(capacity_bytes=300_000),
+            batch_cost=BatchCostConfig(name="hwsim", machine="4790K"),
+        ),
+        experiment=ExperimentConfig(name="fig2", options={"quality": 85}),
+        sweep={"serving.cache.capacity_bytes": [100_000, 300_000]},
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        config = full_config()
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip_is_identity(self):
+        config = full_config()
+        assert EngineConfig.from_json(config.to_json()) == config
+
+    def test_json_round_trip_restores_integer_threshold_keys(self):
+        config = EngineConfig(resolutions=(24, 48), ssim_thresholds={24: 0.9})
+        restored = EngineConfig.from_json(config.to_json())
+        assert restored.ssim_thresholds == {24: 0.9}
+
+    def test_minimal_dict_uses_defaults(self):
+        config = EngineConfig.from_dict({})
+        assert config == EngineConfig()
+
+    def test_resolutions_list_becomes_tuple(self):
+        config = EngineConfig.from_dict({"resolutions": [48, 24]})
+        assert config.resolutions == (48, 24)
+
+    def test_unknown_top_level_key_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown EngineConfig field"):
+            EngineConfig.from_dict({"resolutionz": [24]})
+
+    def test_unknown_section_key_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown ServingConfig field"):
+            EngineConfig.from_dict({"serving": {"workerz": 3}})
+
+
+class TestEngineConfigValidation:
+    def test_empty_resolutions(self):
+        with pytest.raises(ValueError, match="resolutions"):
+            EngineConfig(resolutions=())
+
+    def test_non_positive_resolution(self):
+        with pytest.raises(ValueError, match="positive"):
+            EngineConfig(resolutions=(24, 0))
+
+    def test_duplicate_resolutions(self):
+        with pytest.raises(ValueError, match="unique"):
+            EngineConfig(resolutions=(24, 24))
+
+    def test_scale_resolution_must_be_a_candidate(self):
+        with pytest.raises(ValueError, match="scale_resolution"):
+            EngineConfig(resolutions=(24, 48), scale_resolution=32)
+
+    def test_static_policy_resolution_must_be_a_candidate(self):
+        with pytest.raises(ValueError, match="policy.resolution"):
+            EngineConfig(
+                resolutions=(24, 48), policy=PolicyConfig(name="static", resolution=96)
+            )
+
+    def test_threshold_for_unknown_resolution(self):
+        with pytest.raises(ValueError, match="unknown resolution"):
+            EngineConfig(resolutions=(24, 48), ssim_thresholds={32: 0.9})
+
+    def test_threshold_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            EngineConfig(resolutions=(24,), ssim_thresholds={24: 1.5})
+
+    def test_crop_ratio_out_of_range(self):
+        with pytest.raises(ValueError, match="crop_ratio"):
+            EngineConfig(crop_ratio=0.0)
+
+    def test_empty_sweep_values(self):
+        with pytest.raises(ValueError, match="sweep"):
+            EngineConfig(sweep={"serving.num_workers": []})
+
+
+class TestSectionValidation:
+    def test_store_rejects_non_positive_image_count(self):
+        with pytest.raises(ValueError, match="num_images"):
+            StoreConfig(num_images=0)
+
+    def test_store_rejects_out_of_range_quality(self):
+        with pytest.raises(ValueError, match="quality"):
+            StoreConfig(quality=0)
+
+    def test_store_rejects_unknown_override_fields_at_load_time(self):
+        with pytest.raises(ValueError, match="storge_resolution_mean"):
+            StoreConfig(overrides={"storge_resolution_mean": 96})
+
+    def test_cache_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CacheConfig(capacity_bytes=0)
+
+    def test_arrivals_reject_non_positive_rate(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            ArrivalsConfig(name="poisson", options={"rate_rps": 0.0})
+
+    def test_arrivals_reject_non_positive_client_count(self):
+        with pytest.raises(ValueError, match="num_clients"):
+            ArrivalsConfig(name="closed-loop", options={"num_clients": 0})
+
+    def test_arrivals_reject_non_numeric_rate(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            ArrivalsConfig(name="poisson", options={"rate_rps": "600"})
+
+    def test_serving_rejects_non_positive_worker_count(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ServingConfig(num_workers=0)
+
+    def test_serving_rejects_non_positive_batch_size(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServingConfig(max_batch_size=0)
+
+    def test_adaptive_rejects_non_positive_threshold(self):
+        with pytest.raises(ValueError, match="queue_threshold"):
+            AdaptiveConfig(queue_threshold=0)
+
+    def test_batch_cost_rejects_unknown_kernel_source(self):
+        with pytest.raises(ValueError, match="kernel_source"):
+            BatchCostConfig(kernel_source="magic")
+
+
+class TestOverrides:
+    def test_with_overrides_patches_nested_fields(self):
+        config = full_config()
+        patched = config.with_overrides({"serving.cache.capacity_bytes": 1234})
+        assert patched.serving.cache.capacity_bytes == 1234
+        # Everything else is untouched.
+        assert patched.resolutions == config.resolutions
+        assert patched.policy == config.policy
+
+    def test_with_overrides_rejects_unknown_paths(self):
+        config = full_config()
+        with pytest.raises(KeyError):
+            config.with_overrides({"serving.cache.capacity_bytez": 1})
+        with pytest.raises(KeyError):
+            config.with_overrides({"nonexistent.section": 1})
+
+    def test_with_overrides_revalidates(self):
+        config = full_config()
+        with pytest.raises(ValueError):
+            config.with_overrides({"serving.cache.capacity_bytes": -5})

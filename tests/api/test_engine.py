@@ -1,0 +1,225 @@
+"""Engine facade: building, serving determinism, experiments, sweeps."""
+
+import pytest
+
+from repro.api import Engine, EngineConfig
+from repro.api.config import (
+    AdaptiveConfig,
+    ArrivalsConfig,
+    BackboneConfig,
+    CacheConfig,
+    ExperimentConfig,
+    PolicyConfig,
+    ServingConfig,
+    StoreConfig,
+)
+from repro.core.policies import DynamicResolutionPolicy, StaticResolutionPolicy
+from repro.serving.policies import LoadAdaptiveResolutionPolicy
+
+
+def serving_config(policy=None, cache_bytes=120_000, arrivals=None, **serving_kwargs):
+    """A small, fast serving scenario over an 8-image store."""
+    return EngineConfig(
+        resolutions=(24, 32, 48),
+        scale_resolution=24,
+        store=StoreConfig(
+            profile="imagenet-like",
+            overrides={
+                "name": "engine-test",
+                "num_classes": 4,
+                "storage_resolution_mean": 96,
+                "storage_resolution_std": 10,
+            },
+            num_images=8,
+            seed=3,
+        ),
+        backbone=BackboneConfig(
+            name="resnet-tiny", options={"num_classes": 4, "base_width": 4, "seed": 0}
+        ),
+        policy=policy or PolicyConfig(name="static", resolution=32),
+        ssim_thresholds={24: 0.9, 32: 0.92, 48: 0.95},
+        serving=ServingConfig(
+            arrivals=arrivals
+            or ArrivalsConfig(
+                name="poisson", options={"rate_rps": 500.0, "seed": 5, "zipf_alpha": 1.0}
+            ),
+            num_requests=24,
+            cache=CacheConfig(capacity_bytes=cache_bytes) if cache_bytes else None,
+            **serving_kwargs,
+        ),
+    )
+
+
+class TestBuilders:
+    def test_store_is_memoized_and_matches_config(self):
+        engine = Engine(serving_config())
+        store = engine.build_store()
+        assert engine.build_store() is store
+        assert len(store) == 8
+
+    def test_static_policy_defaults_to_highest_resolution(self):
+        engine = Engine(serving_config(policy=PolicyConfig(name="static")))
+        policy = engine.build_policy()
+        assert isinstance(policy, StaticResolutionPolicy)
+        assert policy.resolution == 48
+
+    def test_dynamic_policy_builds_a_scale_model_predictor(self):
+        engine = Engine(serving_config(policy=PolicyConfig(name="dynamic")))
+        policy = engine.build_policy()
+        assert isinstance(policy, DynamicResolutionPolicy)
+        assert policy.predictor.resolutions == (24, 32, 48)
+        assert policy.predictor.scale_resolution == 24
+
+    def test_adaptive_section_wraps_the_policy(self):
+        engine = Engine(
+            serving_config(
+                policy=PolicyConfig(
+                    name="static", resolution=48, adaptive=AdaptiveConfig(queue_threshold=3)
+                )
+            )
+        )
+        policy = engine.build_policy()
+        assert isinstance(policy, LoadAdaptiveResolutionPolicy)
+        assert policy.queue_threshold == 3
+
+    def test_oracle_policy_is_not_declaratively_buildable(self):
+        engine = Engine(serving_config(policy=PolicyConfig(name="oracle")))
+        with pytest.raises(ValueError, match="oracle"):
+            engine.build_policy()
+
+    def test_unknown_component_names_fail_with_known_names(self):
+        engine = Engine(
+            serving_config().with_overrides({"backbone.name": "resnet-giant"})
+        )
+        with pytest.raises(KeyError, match="resnet-tiny"):
+            engine.build_backbone()
+
+    def test_serving_section_is_required_to_serve(self):
+        engine = Engine(EngineConfig(resolutions=(24,)))
+        with pytest.raises(ValueError, match="serving"):
+            engine.serve()
+
+
+class TestServe:
+    def test_identical_configs_produce_identical_reports(self):
+        first = Engine(serving_config()).serve()
+        second = Engine(serving_config()).serve()
+        assert first == second
+        assert first.format() == second.format()
+
+    def test_every_request_is_served(self):
+        report = Engine(serving_config()).serve()
+        assert report.num_requests == 24
+
+    def test_shared_store_and_trace_reproduce_the_full_build(self):
+        base = Engine(serving_config())
+        shared = Engine(
+            serving_config(), store=base.build_store(), backbone=base.build_backbone()
+        )
+        assert shared.serve(base.build_trace()) == base.serve()
+
+    def test_cache_config_changes_byte_provenance(self):
+        cached = Engine(serving_config(cache_bytes=300_000)).serve()
+        cacheless = Engine(serving_config(cache_bytes=0)).serve()
+        assert cached.bytes_from_store < cacheless.bytes_from_store
+        assert cacheless.cache_hit_rate is None
+
+    def test_closed_loop_arrivals(self):
+        config = serving_config(
+            arrivals=ArrivalsConfig(
+                name="closed-loop",
+                options={"num_clients": 3, "requests_per_client": 4, "seed": 9},
+            )
+        )
+        report = Engine(config).serve()
+        assert report.num_requests == 12
+
+    def test_serve_accepts_an_explicit_closed_loop_population(self):
+        config = serving_config(
+            arrivals=ArrivalsConfig(
+                name="closed-loop",
+                options={"num_clients": 2, "requests_per_client": 3, "seed": 9},
+            )
+        )
+        engine = Engine(config)
+        report = engine.serve(engine.build_trace())
+        assert report.num_requests == 6
+
+
+class TestExperiments:
+    def test_run_experiment_by_name(self):
+        result = Engine(EngineConfig()).run_experiment(
+            "fig2", quality=85, seed=3, render_resolution=224
+        )
+        assert result.name == "fig2"
+        assert result.data["cumulative_bytes"] == sorted(result.data["cumulative_bytes"])
+        assert "scan 1" in result.table
+
+    def test_run_experiment_from_config_section(self):
+        config = EngineConfig(
+            experiment=ExperimentConfig(
+                name="fig2", options={"render_resolution": 224, "seed": 3}
+            )
+        )
+        result = Engine(config).run_experiment()
+        assert result.name == "fig2"
+
+    def test_experiment_is_deterministic(self):
+        first = Engine(EngineConfig()).run_experiment("fig2", render_resolution=224)
+        second = Engine(EngineConfig()).run_experiment("fig2", render_resolution=224)
+        assert first == second
+
+    def test_config_options_do_not_leak_into_other_experiments(self):
+        # fig2 ignores "resolutions"; table1 does not — if fig2's section
+        # options leaked into an explicitly named table1 run, the table
+        # would shrink to one row.
+        config = EngineConfig(
+            experiment=ExperimentConfig(
+                name="fig2", options={"render_resolution": 224, "resolutions": [112]}
+            )
+        )
+        engine = Engine(config)
+        from_section = engine.run_experiment()
+        by_name = engine.run_experiment("fig2")
+        assert from_section == by_name  # same name: section options apply
+        other = engine.run_experiment("table1")
+        assert other.name == "table1"
+        assert len(other.data) == 7  # table1's own default resolutions
+
+    def test_missing_experiment_section(self):
+        with pytest.raises(ValueError, match="experiment"):
+            Engine(EngineConfig()).run_experiment()
+
+    def test_unknown_experiment_name(self):
+        with pytest.raises(KeyError, match="fig2"):
+            Engine(EngineConfig()).run_experiment("fig99")
+
+
+class TestSweep:
+    def test_sweep_applies_each_override(self):
+        engine = Engine(serving_config())
+        points = engine.sweep({"serving.cache.capacity_bytes": [5_000, 300_000]})
+        assert [p.overrides["serving.cache.capacity_bytes"] for p in points] == [
+            5_000,
+            300_000,
+        ]
+        small, large = points
+        assert small.report.bytes_from_store >= large.report.bytes_from_store
+
+    def test_sweep_grid_is_a_cross_product_in_stable_order(self):
+        engine = Engine(serving_config())
+        points = engine.sweep(
+            {
+                "serving.num_workers": [1, 2],
+                "serving.max_batch_size": [2, 4],
+            }
+        )
+        combos = [
+            (p.overrides["serving.max_batch_size"], p.overrides["serving.num_workers"])
+            for p in points
+        ]
+        assert combos == [(2, 1), (2, 2), (4, 1), (4, 2)]
+
+    def test_empty_grid_is_rejected(self):
+        with pytest.raises(ValueError, match="sweep"):
+            Engine(serving_config()).sweep({})
