@@ -1,0 +1,142 @@
+"""Fleet scaling — sharding the serving tier from 1 to 8 nodes.
+
+Not a figure from the paper: the paper's cloud-economics argument (§I,
+§VIII.b) is per-request; this harness shows the online system composes.
+One identical open-loop trace (Poisson at a rate that saturates a single
+2-worker server) is served by consistent-hash fleets of 1, 2, 4 and 8
+shards, each shard with its own scan cache, batcher and worker pool.
+Reproduced claims: sustained fleet throughput rises with the shard count
+(8 shards strictly beat 1 on the same trace), tail latency falls as
+per-shard queueing shrinks, and the merged fleet report conserves request
+and byte totals across the partition.
+"""
+
+from dataclasses import replace
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.api import Engine, EngineConfig
+from repro.api.config import (
+    ArrivalsConfig,
+    BackboneConfig,
+    BatchCostConfig,
+    CacheConfig,
+    FleetConfig,
+    PolicyConfig,
+    ServingConfig,
+    StoreConfig,
+)
+
+RESOLUTIONS = (24, 32, 48)
+NUM_REQUESTS = 96
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def make_config(num_shards: int) -> EngineConfig:
+    return EngineConfig(
+        resolutions=RESOLUTIONS,
+        scale_resolution=24,
+        store=StoreConfig(
+            profile="imagenet-like",
+            overrides=dict(
+                name="fleet-bench",
+                num_classes=4,
+                storage_resolution_mean=96,
+                storage_resolution_std=10,
+                object_scale_mean=0.55,
+                object_scale_std=0.2,
+                texture_weight=0.6,
+                detail_sensitivity=1.0,
+            ),
+            num_images=24,
+            seed=5,
+            quality=85,
+        ),
+        backbone=BackboneConfig(
+            name="resnet-tiny", options={"num_classes": 4, "base_width": 4, "seed": 0}
+        ),
+        policy=PolicyConfig(name="static", resolution=32),
+        ssim_thresholds={24: 0.90, 32: 0.92, 48: 0.95},
+        serving=ServingConfig(
+            arrivals=ArrivalsConfig(
+                name="poisson", options=dict(rate_rps=4000.0, seed=11, zipf_alpha=1.0)
+            ),
+            num_requests=NUM_REQUESTS,
+            num_workers=2,
+            max_batch_size=4,
+            max_wait_s=0.004,
+            cache=CacheConfig(capacity_bytes=200_000),
+            batch_cost=BatchCostConfig(name="hwsim", machine="4790K"),
+            fleet=FleetConfig(num_shards=num_shards, virtual_nodes=64, seed=7),
+        ),
+    )
+
+
+def run_scaling():
+    base = Engine(make_config(1))
+    store = base.build_store()
+    backbone = base.build_backbone()
+    trace = base.build_trace()
+    reports = {}
+    for num_shards in SHARD_COUNTS:
+        engine = Engine(make_config(num_shards), store=store, backbone=backbone)
+        reports[num_shards] = engine.serve(trace)
+    # The same trace through the plain (un-sharded) server, for equivalence.
+    config = make_config(1)
+    config = replace(config, serving=replace(config.serving, fleet=None))
+    unsharded = Engine(config, store=store, backbone=backbone).serve(trace)
+    return reports, unsharded
+
+
+def test_fleet_throughput(benchmark):
+    reports, unsharded = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    rows = [
+        [
+            num_shards,
+            report.throughput_rps,
+            report.p50_latency_ms,
+            report.p99_latency_ms,
+            report.load_imbalance,
+            report.fleet.mean_batch_size,
+            report.bytes_from_store / 1e3,
+            100.0 * (report.fleet.cache_hit_rate or 0.0),
+        ]
+        for num_shards, report in reports.items()
+    ]
+    emit(
+        "fleet_throughput",
+        format_table(
+            [
+                "shards",
+                "req/s",
+                "p50 ms",
+                "p99 ms",
+                "imbalance",
+                "batch",
+                "store KB",
+                "hit %",
+            ],
+            rows,
+            float_format="{:.1f}",
+        ),
+    )
+
+    single, fleet8 = reports[1], reports[8]
+    # Every fleet size serves the whole trace; sharding only repartitions it.
+    for report in reports.values():
+        assert report.num_requests == NUM_REQUESTS
+        assert sum(shard.num_requests for shard in report.shards) == NUM_REQUESTS
+        assert report.bytes_from_store == sum(
+            shard.report.bytes_from_store
+            for shard in report.shards
+            if shard.report is not None
+        )
+    # Sustained throughput scales with the shard count on a saturating trace.
+    assert fleet8.throughput_rps > single.throughput_rps
+    assert reports[4].throughput_rps > single.throughput_rps
+    # More shards means shallower per-shard queues, so the tail tightens.
+    assert fleet8.p99_latency_ms < single.p99_latency_ms
+    # The single-shard fleet really is the un-sharded server's report.
+    assert single.fleet == unsharded

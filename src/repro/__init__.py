@@ -24,11 +24,23 @@ the dynamic-resolution pipeline built on top of them:
 The facade is re-exported here (``repro.Engine``, ``repro.EngineConfig``,
 ``repro.registry``) and resolved lazily so that ``import repro`` stays
 cheap and the component modules can self-register without import cycles.
+
+Two unrelated kinds of "sharding" exist in the codebase and are re-exported
+here under unambiguous names so neither shadows the other:
+
+* ``repro.ShardedBackbones`` / ``repro.train_sharded_backbones`` —
+  cross-validation **training-data** sharding (:mod:`repro.core.sharding`,
+  paper Fig 5), which trains complementary backbones for unbiased
+  scale-model labels;
+* ``repro.ShardedFleet`` / ``repro.ConsistentHashRouter`` /
+  ``repro.FleetReport`` — **request** sharding for online serving
+  (:mod:`repro.serving.fleet`), which routes traffic across server nodes
+  with a consistent-hash ring.
 """
 
 from typing import Any
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 PAPER_RESOLUTIONS = (112, 168, 224, 280, 336, 392, 448)
 """The seven inference resolutions evaluated throughout the paper."""
@@ -38,11 +50,23 @@ PAPER_CROP_RATIOS = (0.25, 0.56, 0.75, 1.00)
 
 _API_EXPORTS = ("Engine", "EngineConfig", "registry")
 
+#: Lazy re-exports living outside ``repro.api``: name -> defining module.
+_LAZY_EXPORTS = {
+    # Training-data sharding (cross-validated backbones, paper Fig 5).
+    "ShardedBackbones": "repro.core.sharding",
+    "train_sharded_backbones": "repro.core.sharding",
+    # Request sharding (the online serving fleet).
+    "ShardedFleet": "repro.serving.fleet",
+    "ConsistentHashRouter": "repro.serving.fleet",
+    "FleetReport": "repro.serving.fleet",
+}
+
 __all__ = [
     "PAPER_RESOLUTIONS",
     "PAPER_CROP_RATIOS",
     "__version__",
     *_API_EXPORTS,
+    *sorted(_LAZY_EXPORTS),
 ]
 
 
@@ -51,6 +75,10 @@ def __getattr__(name: str) -> Any:
         import repro.api
 
         return getattr(repro.api, name)
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

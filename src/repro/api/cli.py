@@ -60,6 +60,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     arrivals = config.serving.arrivals if config.serving else None
     if arrivals is not None:
         print(f"traffic                {arrivals.name}")
+    fleet = config.serving.fleet if config.serving else None
+    if fleet is not None:
+        print(f"router                 {fleet.router} ({fleet.virtual_nodes} vnodes)")
     print(report.format())
     return 0
 

@@ -257,8 +257,62 @@ class BatchCostConfig(_DictMixin):
 
 
 @dataclass(frozen=True)
+class FleetConfig(_DictMixin):
+    """Multi-node sharding of the serving tier.
+
+    ``num_shards`` servers share the request key space through the named
+    router (a seeded ``virtual_nodes``-per-shard consistent-hash ring).
+    ``overrides`` patches the serving section per shard — a mapping from
+    shard index to ``ServingConfig`` field patches (nested dicts such as
+    ``cache`` merge field-wise), which is how a fleet mixes, say, one
+    big-cache shard with several small ones.
+    """
+
+    num_shards: int = 2
+    router: str = "consistent-hash"
+    virtual_nodes: int = 64
+    seed: int = 0
+    overrides: dict[int, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(self.num_shards > 0, "fleet.num_shards must be positive")
+        _require(bool(self.router), "fleet.router must be non-empty")
+        _require(self.virtual_nodes > 0, "fleet.virtual_nodes must be positive")
+        for shard, patch in self.overrides.items():
+            _require(
+                isinstance(shard, int) and 0 <= shard < self.num_shards,
+                f"fleet.overrides key {shard!r} is not a shard index in "
+                f"[0, {self.num_shards})",
+            )
+            _require(
+                isinstance(patch, dict),
+                f"fleet.overrides[{shard}] must be a dict of ServingConfig fields",
+            )
+            _require(
+                "fleet" not in patch and "arrivals" not in patch
+                and "num_requests" not in patch,
+                f"fleet.overrides[{shard}] cannot override fleet/arrivals/"
+                "num_requests (traffic is fleet-wide)",
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        overrides = data.pop("overrides", None)
+        if overrides is not None:
+            # JSON object keys are strings; config keys are shard indices.
+            data["overrides"] = {int(shard): patch for shard, patch in overrides.items()}
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ServingConfig(_DictMixin):
-    """The serving tier: traffic, worker pool, batching, cache, pricing."""
+    """The serving tier: traffic, worker pool, batching, cache, pricing.
+
+    An optional ``fleet`` section shards this tier across several servers
+    (each with its own cache and worker pool) behind a key router.
+    """
 
     arrivals: ArrivalsConfig = field(default_factory=ArrivalsConfig)
     num_requests: int = 100
@@ -268,6 +322,7 @@ class ServingConfig(_DictMixin):
     scale_model_seconds: float = 0.0
     cache: CacheConfig | None = None
     batch_cost: BatchCostConfig = field(default_factory=BatchCostConfig)
+    fleet: FleetConfig | None = None
 
     def __post_init__(self) -> None:
         _require(self.num_requests > 0, "serving.num_requests must be positive")
@@ -288,7 +343,25 @@ class ServingConfig(_DictMixin):
         data["batch_cost"] = _pop_section(
             data, "batch_cost", BatchCostConfig, BatchCostConfig()
         )
+        data["fleet"] = _pop_section(data, "fleet", FleetConfig)
         return cls(**data)
+
+    def for_shard(self, shard: int) -> "ServingConfig":
+        """This section specialized to one shard: fleet stripped, patch applied.
+
+        The result is re-validated through :meth:`from_dict`, so a bad
+        per-shard override fails with the same error a bad config file would.
+        """
+        if self.fleet is None:
+            raise ValueError("serving config has no fleet section to shard")
+        data = self.to_dict()
+        data.pop("fleet")
+        for key, value in self.fleet.overrides.get(shard, {}).items():
+            if isinstance(value, dict) and isinstance(data.get(key), dict):
+                data[key] = {**data[key], **value}
+            else:
+                data[key] = value
+        return ServingConfig.from_dict(data)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ from repro.api.registry import (
     MACHINES,
     PROFILES,
     RESOLUTION_POLICIES,
+    ROUTERS,
 )
 from repro.codec.progressive import ProgressiveEncoder
 from repro.core.policies import ResolutionPolicy
@@ -47,6 +48,7 @@ from repro.nn.module import Module
 from repro.serving.arrivals import ClosedLoopClients, Request
 from repro.serving.batcher import BatchCostModel
 from repro.serving.cache import ScanCache
+from repro.serving.fleet import FleetReport, ShardedFleet
 from repro.serving.metrics import SLOReport
 from repro.serving.server import InferenceServer, ServerConfig
 from repro.storage.policy import ScanReadPolicy
@@ -55,10 +57,14 @@ from repro.storage.store import ImageStore
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid point of a sweep: the overrides applied and the report."""
+    """One grid point of a sweep: the overrides applied and the report.
+
+    ``report`` is a :class:`~repro.serving.fleet.FleetReport` when the
+    config shards the serving tier.
+    """
 
     overrides: dict
-    report: SLOReport
+    report: SLOReport | FleetReport
 
 
 class Engine:
@@ -153,14 +159,15 @@ class Engine:
             )
         return self._read_policy
 
-    def build_cache(self) -> ScanCache | None:
-        serving = self._serving_section()
+    def build_cache(self, serving=None) -> ScanCache | None:
+        serving = serving if serving is not None else self._serving_section()
         if serving.cache is None:
             return None
         return CACHES.get(serving.cache.name)(capacity_bytes=serving.cache.capacity_bytes)
 
-    def build_batch_cost(self) -> BatchCostModel:
-        section = self._serving_section().batch_cost
+    def build_batch_cost(self, serving=None) -> BatchCostModel:
+        serving = serving if serving is not None else self._serving_section()
+        section = serving.batch_cost
         if section.name == "hwsim":
             return BATCH_COSTS.get("hwsim")(
                 self.build_backbone(),
@@ -170,9 +177,13 @@ class Engine:
             )
         return BATCH_COSTS.build(section.name, **section.options)
 
-    def build_server(self) -> InferenceServer:
-        """The full serving tier of ``config.serving`` over this engine's store."""
-        serving = self._serving_section()
+    def build_server(self, serving=None) -> InferenceServer:
+        """The full serving tier of ``config.serving`` over this engine's store.
+
+        Pass a specialized :class:`~repro.api.config.ServingConfig` (e.g.
+        one shard's section) to build one node of a fleet.
+        """
+        serving = serving if serving is not None else self._serving_section()
         server_config = ServerConfig(
             resolutions=self.resolutions,
             scale_resolution=self.scale_resolution,
@@ -188,9 +199,34 @@ class Engine:
             self.build_policy(),
             server_config,
             read_policy=self.build_read_policy(),
-            cache=self.build_cache(),
-            batch_cost=self.build_batch_cost(),
+            cache=self.build_cache(serving),
+            batch_cost=self.build_batch_cost(serving),
         )
+
+    def build_fleet(self) -> ShardedFleet:
+        """The sharded fleet of ``config.serving.fleet`` over this engine's store.
+
+        Every shard gets its own policy, cache tier and batch-cost model (the
+        store, backbone and read-policy calibration are shared — they are
+        immutable under serving), so shards are fully independent nodes.
+        """
+        serving = self._serving_section()
+        fleet = serving.fleet
+        if fleet is None:
+            raise ValueError(
+                "this config has no 'serving.fleet' section; add one to shard"
+            )
+        servers = [
+            self.build_server(serving.for_shard(shard))
+            for shard in range(fleet.num_shards)
+        ]
+        router = ROUTERS.build(
+            fleet.router,
+            shard_ids=range(fleet.num_shards),
+            virtual_nodes=fleet.virtual_nodes,
+            seed=fleet.seed,
+        )
+        return ShardedFleet(servers, router)
 
     def build_trace(self) -> list[Request] | ClosedLoopClients:
         """The configured traffic: a pre-generated trace, or closed-loop clients."""
@@ -210,10 +246,23 @@ class Engine:
     # -- the three verbs ----------------------------------------------------------
     def serve(
         self, trace: Sequence[Request] | ClosedLoopClients | None = None
-    ) -> SLOReport:
-        """Serve the configured (or given) traffic; returns the SLO report."""
-        server = self.build_server()
+    ) -> SLOReport | FleetReport:
+        """Serve the configured (or given) traffic; returns the SLO report.
+
+        When ``serving.fleet`` is configured the trace is partitioned across
+        the sharded fleet and a :class:`~repro.serving.fleet.FleetReport`
+        (per-shard + fleet-wide SLOs) comes back instead.
+        """
+        serving = self._serving_section()
         traffic = self.build_trace() if trace is None else trace
+        if serving.fleet is not None:
+            if isinstance(traffic, ClosedLoopClients):
+                raise ValueError(
+                    "sharded fleets serve open-loop traces; closed-loop clients "
+                    "are bound to one server's completion times"
+                )
+            return self.build_fleet().run(traffic)
+        server = self.build_server()
         if isinstance(traffic, ClosedLoopClients):
             return server.run_closed_loop(traffic, self.build_store().keys())
         return server.run(traffic)

@@ -112,6 +112,9 @@ BATCHERS = Registry("batcher")
 #: Batch execution cost models (``repro.serving.batcher``).
 BATCH_COSTS = Registry("batch cost model")
 
+#: Request routers for sharded fleets (``repro.serving.fleet``).
+ROUTERS = Registry("router")
+
 #: CPU machine-model presets (``repro.hwsim.machine``); entries are instances.
 MACHINES = Registry("machine model")
 
@@ -131,6 +134,7 @@ def all_registries() -> dict[str, Registry]:
         "caches": CACHES,
         "batchers": BATCHERS,
         "batch-costs": BATCH_COSTS,
+        "routers": ROUTERS,
         "machines": MACHINES,
         "profiles": PROFILES,
         "experiments": EXPERIMENTS,

@@ -1,4 +1,11 @@
-"""Cross-validation sharded backbone training (paper Fig 5).
+"""Cross-validation sharded backbone *training* (paper Fig 5).
+
+"Sharding" here means splitting the **training data**, not the serving key
+space: request sharding for the online fleet (consistent-hash routing of
+traffic across :class:`~repro.serving.server.InferenceServer` nodes) lives
+in :mod:`repro.serving.fleet`.  The two are unrelated mechanisms that
+happen to share a word; both are re-exported under their own names
+(``ShardedBackbones`` vs ``ShardedFleet``) from :mod:`repro`.
 
 Training the scale model requires correctness labels from a trained
 backbone, but labelling the backbone's own training data would leak

@@ -17,7 +17,11 @@ composes every existing layer under one simulated clock:
   reads → scale-model resolution choice → batched backbone execution on a
   bounded worker pool;
 * :mod:`repro.serving.metrics` — per-run SLO reports (throughput, latency
-  percentiles, cache effectiveness, bytes and dollars saved).
+  percentiles, cache effectiveness, bytes and dollars saved);
+* :mod:`repro.serving.fleet` — multi-node composition: a seeded
+  consistent-hash router partitions the request key space across several
+  servers (each with its own cache tier and worker pool) and merges their
+  reports into per-shard + fleet-wide SLOs.
 
 Runs are fully deterministic under a fixed seed: identical configurations
 produce identical :class:`~repro.serving.metrics.SLOReport` objects.
@@ -38,6 +42,12 @@ from repro.serving.batcher import (
     LinearBatchCost,
 )
 from repro.serving.cache import CacheRead, CacheStats, ScanCache
+from repro.serving.fleet import (
+    ConsistentHashRouter,
+    FleetReport,
+    ShardedFleet,
+    ShardReport,
+)
 from repro.serving.metrics import ServedRequest, SLOReport, build_report
 from repro.serving.policies import LoadAdaptiveResolutionPolicy
 from repro.serving.server import InferenceServer, ServerConfig
@@ -59,6 +69,10 @@ __all__ = [
     "LoadAdaptiveResolutionPolicy",
     "InferenceServer",
     "ServerConfig",
+    "ConsistentHashRouter",
+    "ShardedFleet",
+    "ShardReport",
+    "FleetReport",
     "ServedRequest",
     "SLOReport",
     "build_report",

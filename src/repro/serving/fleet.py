@@ -1,0 +1,348 @@
+"""Multi-node sharded serving: consistent-hash routing over a server fleet.
+
+One :class:`~repro.serving.server.InferenceServer` is one node; the paper's
+progressive-resolution pipeline pays off at scale when many such nodes share
+the request key space.  This module composes them:
+
+* :class:`ConsistentHashRouter` — a seeded virtual-node hash ring over
+  request keys.  Every key maps to exactly one live shard, ring balance
+  improves with the virtual-node count, and adding or removing a shard
+  remaps only the keys that ring segment owned (the classic consistent-
+  hashing stability property, which is what keeps per-shard caches warm
+  across fleet resizes);
+* :class:`ShardedFleet` — partitions an open-loop arrival trace across N
+  servers by routed key.  Each shard owns its own cache tier, batcher and
+  worker pool and runs its sub-trace on its own simulated clock (shards
+  share no state, so they serve concurrently in simulated time);
+* :class:`FleetReport` — per-shard :class:`~repro.serving.metrics.SLOReport`
+  objects plus fleet-wide aggregates (throughput over the whole fleet
+  timeline, latency percentiles over every served request, merged cache
+  stats, and a load-imbalance factor).
+
+This is *request* sharding for online serving.  It is unrelated to
+:mod:`repro.core.sharding`, which shards *training data* across
+cross-validated backbones (paper Fig 5) to produce unbiased scale-model
+labels.
+
+Everything here is deterministic: the ring is seeded (blake2b, not
+Python's randomized ``hash``), shards run deterministic event loops, and
+reports merge in shard order — so two runs with the same configuration
+produce identical :class:`FleetReport` objects.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Sequence
+
+from repro.api.registry import ROUTERS
+from repro.serving.arrivals import Request
+from repro.serving.cache import CacheStats
+from repro.serving.metrics import SLOReport, build_report
+from repro.serving.server import InferenceServer
+
+_HASH_BITS = 64
+_HASH_SPACE = 1 << _HASH_BITS
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit hash (blake2b) — independent of PYTHONHASHSEED."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@ROUTERS.register("consistent-hash")
+class ConsistentHashRouter:
+    """A seeded consistent-hash ring with virtual nodes.
+
+    Each shard owns ``virtual_nodes`` points on a 64-bit ring; a key routes
+    to the shard owning the first point at or after the key's hash
+    (wrapping).  More virtual nodes smooth the arc lengths, bounding the
+    load imbalance; removing a shard hands its arcs to the ring successors
+    and leaves every other key's mapping untouched.
+    """
+
+    def __init__(
+        self,
+        shard_ids: Iterable[Any],
+        virtual_nodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if virtual_nodes <= 0:
+            raise ValueError("virtual_nodes must be positive")
+        self.virtual_nodes = virtual_nodes
+        self.seed = seed
+        self._shards: set[Any] = set()
+        self._ring: list[tuple[int, Any]] = []
+        self._points: list[int] = []
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # -- membership --------------------------------------------------------------
+    @property
+    def shard_ids(self) -> list[Any]:
+        """Live shards, sorted by their string form (stable across runs)."""
+        return sorted(self._shards, key=str)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def ring_size(self) -> int:
+        return len(self._ring)
+
+    def __contains__(self, shard_id: Any) -> bool:
+        return shard_id in self._shards
+
+    def _node_positions(self, shard_id: Any) -> list[int]:
+        return [
+            _hash64(f"{self.seed}|node|{shard_id}|{replica}")
+            for replica in range(self.virtual_nodes)
+        ]
+
+    def _rebuild(self) -> None:
+        # Ties (astronomically rare on a 64-bit ring) break by shard name so
+        # the ring order never depends on insertion history.
+        self._ring.sort(key=lambda node: (node[0], str(node[1])))
+        self._points = [position for position, _ in self._ring]
+
+    def add_shard(self, shard_id: Any) -> None:
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} is already on the ring")
+        self._shards.add(shard_id)
+        self._ring.extend(
+            (position, shard_id) for position in self._node_positions(shard_id)
+        )
+        self._rebuild()
+
+    def remove_shard(self, shard_id: Any) -> None:
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id!r} is not on the ring")
+        self._shards.discard(shard_id)
+        self._ring = [node for node in self._ring if node[1] != shard_id]
+        self._rebuild()
+
+    # -- routing -----------------------------------------------------------------
+    def route(self, key: str) -> Any:
+        """The live shard owning ``key`` (deterministic for a given ring)."""
+        if not self._ring:
+            raise ValueError("cannot route on an empty ring; add a shard first")
+        position = _hash64(f"{self.seed}|key|{key}")
+        index = bisect.bisect_left(self._points, position)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def shard_shares(self) -> dict[Any, float]:
+        """Fraction of the hash space each live shard owns (sums to 1.0)."""
+        if not self._ring:
+            return {}
+        shares: dict[Any, float] = {shard_id: 0.0 for shard_id in self._shards}
+        previous = self._points[-1] - _HASH_SPACE  # wraparound arc
+        for position, shard_id in self._ring:
+            shares[shard_id] += (position - previous) / _HASH_SPACE
+            previous = position
+        return shares
+
+
+# ---------------------------------------------------------------------------
+# Fleet reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard's slice of a fleet run (``report`` is None for idle shards)."""
+
+    shard_id: int
+    num_requests: int
+    report: SLOReport | None
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Per-shard and fleet-wide SLOs for one sharded serving run.
+
+    ``fleet`` aggregates every served request across shards: throughput over
+    the fleet-wide timeline (first arrival to last completion anywhere),
+    latency percentiles over the merged population, summed byte provenance
+    and merged cache stats.  ``load_imbalance`` is the busiest shard's
+    request count over the per-shard mean (1.0 is a perfectly even split).
+    """
+
+    num_shards: int
+    shards: tuple[ShardReport, ...]
+    fleet: SLOReport
+    load_imbalance: float
+    idle_shards: int
+
+    # Convenience delegates so sweeps and tables can treat a FleetReport
+    # like a single-server SLOReport.
+    @property
+    def num_requests(self) -> int:
+        return self.fleet.num_requests
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.fleet.throughput_rps
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.fleet.p50_latency_ms
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.fleet.p95_latency_ms
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.fleet.p99_latency_ms
+
+    @property
+    def bytes_from_store(self) -> int:
+        return self.fleet.bytes_from_store
+
+    @property
+    def relative_bytes_saved(self) -> float:
+        return self.fleet.relative_bytes_saved
+
+    def format(self) -> str:
+        """Deterministic plain-text rendering: shard table + fleet totals."""
+        lines = [
+            f"shards                 {self.num_shards}"
+            + (f" ({self.idle_shards} idle)" if self.idle_shards else ""),
+            f"load imbalance         {self.load_imbalance:.2f}x (busiest/mean requests)",
+            "per-shard SLOs         id  reqs   req/s   p50 ms   p99 ms   store KB   hit %",
+        ]
+        for shard in self.shards:
+            if shard.report is None:
+                lines.append(f"                       {shard.shard_id:>2}     0    idle")
+                continue
+            report = shard.report
+            hit = (
+                f"{100.0 * report.cache_hit_rate:7.1f}"
+                if report.cache_hit_rate is not None
+                else "      -"
+            )
+            lines.append(
+                f"                       {shard.shard_id:>2} {report.num_requests:>5} "
+                f"{report.throughput_rps:>7.1f} {report.p50_latency_ms:>8.2f} "
+                f"{report.p99_latency_ms:>8.2f} {report.bytes_from_store / 1e3:>10.1f} {hit}"
+            )
+        lines.append("fleet-wide:")
+        lines.append(self.fleet.format())
+        return "\n".join(lines)
+
+
+def _merge_cache_stats(stats: Sequence[CacheStats]) -> CacheStats | None:
+    if not stats:
+        return None
+    merged = CacheStats()
+    for shard_stats in stats:
+        for stat_field in fields(CacheStats):
+            setattr(
+                merged,
+                stat_field.name,
+                getattr(merged, stat_field.name) + getattr(shard_stats, stat_field.name),
+            )
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# The fleet
+# ---------------------------------------------------------------------------
+
+
+class ShardedFleet:
+    """Partition an open-loop trace across N independent inference servers.
+
+    Shards are identified by their index in ``servers``; the router must
+    cover exactly those indices.  Each shard serves its routed sub-trace on
+    its own event loop (shards share the store's *contents* but nothing
+    mutable), and the per-shard reports merge into one :class:`FleetReport`.
+    A single-shard fleet is behaviourally identical to calling
+    ``servers[0].run(trace)`` directly.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[InferenceServer],
+        router: ConsistentHashRouter | None = None,
+        virtual_nodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if not servers:
+            raise ValueError("a fleet needs at least one server")
+        self.servers = list(servers)
+        self.router = router or ConsistentHashRouter(
+            range(len(self.servers)), virtual_nodes=virtual_nodes, seed=seed
+        )
+        expected = set(range(len(self.servers)))
+        if set(self.router.shard_ids) != expected:
+            raise ValueError(
+                f"router shards {self.router.shard_ids} do not match the "
+                f"server indices {sorted(expected)}"
+            )
+        # The fleet-wide report prices all bytes with one bandwidth model, so
+        # a heterogeneous fleet would make the fleet row contradict the
+        # per-shard rows it aggregates.
+        bandwidths = {server.bandwidth for server in self.servers}
+        if len(bandwidths) > 1:
+            raise ValueError(
+                "fleet servers must share one StorageBandwidthModel; "
+                f"got {len(bandwidths)} distinct models"
+            )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.servers)
+
+    def partition(self, trace: Sequence[Request]) -> list[list[Request]]:
+        """Split a trace by routed key, preserving arrival order per shard."""
+        shards: list[list[Request]] = [[] for _ in self.servers]
+        for request in trace:
+            shards[self.router.route(request.key)].append(request)
+        return shards
+
+    def run(self, trace: Sequence[Request]) -> FleetReport:
+        """Serve the trace across the fleet and merge the shard reports."""
+        if not trace:
+            raise ValueError("cannot serve an empty trace")
+        sub_traces = self.partition(trace)
+
+        shard_reports: list[ShardReport] = []
+        merged_served = []
+        store_requests = 0
+        degraded = 0
+        cache_stats = []
+        for shard_id, (server, sub_trace) in enumerate(zip(self.servers, sub_traces)):
+            if not sub_trace:
+                shard_reports.append(ShardReport(shard_id, 0, None))
+                continue
+            report = server.run(sub_trace)
+            shard_reports.append(ShardReport(shard_id, report.num_requests, report))
+            merged_served.extend(server.last_served)
+            store_requests += server.store_requests
+            degraded += report.degraded_requests
+            if server.cache is not None:
+                cache_stats.append(server.cache.stats)
+
+        fleet = build_report(
+            merged_served,
+            bandwidth=self.servers[0].bandwidth,
+            store_requests=store_requests,
+            cache_stats=_merge_cache_stats(cache_stats),
+            degraded_requests=degraded,
+        )
+        counts = [shard.num_requests for shard in shard_reports]
+        mean_count = len(trace) / self.num_shards
+        return FleetReport(
+            num_shards=self.num_shards,
+            shards=tuple(shard_reports),
+            fleet=fleet,
+            load_imbalance=max(counts) / mean_count,
+            idle_shards=sum(1 for count in counts if count == 0),
+        )

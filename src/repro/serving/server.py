@@ -128,6 +128,7 @@ class InferenceServer:
         self.preprocessor = InferencePreprocessor(crop_ratio=config.crop_ratio)
         self.store_requests = 0
         self._request_fetch_ops = 0
+        self.last_served: list[ServedRequest] = []
 
     # -- reads -------------------------------------------------------------------
     @property
@@ -319,6 +320,9 @@ class InferenceServer:
                     queued_resolution, queued_items = dispatch_queue.popleft()
                     start_batch(queued_resolution, queued_items, now)
 
+        # Kept for composition layers (the sharded fleet merges the raw
+        # records of many servers into one fleet-wide report).
+        self.last_served = served
         return build_report(
             served,
             bandwidth=self.bandwidth,

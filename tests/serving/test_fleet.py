@@ -1,0 +1,223 @@
+"""Sharded-fleet tests: determinism, merge correctness, single-shard equivalence.
+
+The fleet is a composition layer, so its contract is conservation: it must
+serve exactly the trace it was given, its fleet-wide totals must be the sum
+of its shards, and collapsing it to one shard must reproduce the plain
+:class:`~repro.serving.server.InferenceServer` report byte for byte.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Engine, EngineConfig
+from repro.api.config import (
+    ArrivalsConfig,
+    BackboneConfig,
+    CacheConfig,
+    FleetConfig,
+    PolicyConfig,
+    ServingConfig,
+    StoreConfig,
+)
+from repro.serving.fleet import ConsistentHashRouter, FleetReport, ShardedFleet
+
+NUM_REQUESTS = 32
+
+
+def fleet_config(num_shards=3, cache_bytes=150_000, overrides=None, **fleet_kwargs):
+    """A small, fast sharded scenario over an 8-image store."""
+    return EngineConfig(
+        resolutions=(24, 32, 48),
+        scale_resolution=24,
+        store=StoreConfig(
+            profile="imagenet-like",
+            overrides={
+                "name": "fleet-test",
+                "num_classes": 4,
+                "storage_resolution_mean": 96,
+                "storage_resolution_std": 10,
+            },
+            num_images=8,
+            seed=3,
+        ),
+        backbone=BackboneConfig(
+            name="resnet-tiny", options={"num_classes": 4, "base_width": 4, "seed": 0}
+        ),
+        policy=PolicyConfig(name="static", resolution=32),
+        ssim_thresholds={24: 0.9, 32: 0.92, 48: 0.95},
+        serving=ServingConfig(
+            arrivals=ArrivalsConfig(
+                name="poisson", options={"rate_rps": 800.0, "seed": 5, "zipf_alpha": 1.0}
+            ),
+            num_requests=NUM_REQUESTS,
+            cache=CacheConfig(capacity_bytes=cache_bytes) if cache_bytes else None,
+            fleet=FleetConfig(
+                num_shards=num_shards, overrides=overrides or {}, **fleet_kwargs
+            ),
+        ),
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_produces_identical_fleet_reports(self):
+        first = Engine(fleet_config()).serve()
+        second = Engine(fleet_config()).serve()
+        assert isinstance(first, FleetReport)
+        assert first == second
+        assert first.format() == second.format()
+
+    def test_router_seed_changes_the_partition(self):
+        base = Engine(fleet_config(seed=7)).serve()
+        reseeded = Engine(fleet_config(seed=8)).serve()
+        counts = lambda report: [shard.num_requests for shard in report.shards]  # noqa: E731
+        assert counts(base) != counts(reseeded)
+        # ... but never the workload itself.
+        assert base.num_requests == reseeded.num_requests == NUM_REQUESTS
+
+
+class TestMergeCorrectness:
+    @pytest.fixture(scope="class")
+    def report(self) -> FleetReport:
+        return Engine(fleet_config()).serve()
+
+    def test_request_count_equals_sum_over_shards(self, report):
+        assert report.num_requests == NUM_REQUESTS
+        assert sum(shard.num_requests for shard in report.shards) == NUM_REQUESTS
+        for shard in report.shards:
+            if shard.report is not None:
+                assert shard.report.num_requests == shard.num_requests
+
+    def test_byte_totals_equal_the_sum_over_shards(self, report):
+        live = [shard.report for shard in report.shards if shard.report is not None]
+        assert report.fleet.bytes_from_store == sum(r.bytes_from_store for r in live)
+        assert report.fleet.bytes_from_cache == sum(r.bytes_from_cache for r in live)
+        assert report.fleet.baseline_bytes == sum(r.baseline_bytes for r in live)
+        histogram: dict[int, int] = {}
+        for shard_report in live:
+            for resolution, count in shard_report.resolution_histogram.items():
+                histogram[resolution] = histogram.get(resolution, 0) + count
+        assert report.fleet.resolution_histogram == histogram
+
+    def test_fleet_duration_spans_every_shard_timeline(self, report):
+        live = [shard.report for shard in report.shards if shard.report is not None]
+        # The fleet timeline (first arrival anywhere to last completion
+        # anywhere) contains every shard's own timeline.
+        assert all(report.fleet.duration_s >= r.duration_s for r in live)
+        assert report.fleet.throughput_rps == pytest.approx(
+            report.num_requests / report.fleet.duration_s
+        )
+
+    def test_load_imbalance_is_busiest_over_mean(self, report):
+        counts = [shard.num_requests for shard in report.shards]
+        mean = NUM_REQUESTS / report.num_shards
+        assert report.load_imbalance == pytest.approx(max(counts) / mean)
+        assert report.load_imbalance >= 1.0
+        assert report.idle_shards == sum(1 for count in counts if count == 0)
+
+
+class TestSingleShardEquivalence:
+    def test_single_shard_fleet_reproduces_the_server_report(self):
+        config = fleet_config(num_shards=1)
+        engine = Engine(config)
+        store, backbone = engine.build_store(), engine.build_backbone()
+        trace = engine.build_trace()
+
+        fleet_report = Engine(config, store=store, backbone=backbone).serve(trace)
+
+        unsharded = replace(config, serving=replace(config.serving, fleet=None))
+        server_report = Engine(unsharded, store=store, backbone=backbone).serve(trace)
+
+        assert isinstance(fleet_report, FleetReport)
+        assert fleet_report.num_shards == 1
+        assert fleet_report.shards[0].report == server_report
+        assert fleet_report.fleet == server_report
+        assert fleet_report.fleet.format() == server_report.format()
+        assert fleet_report.load_imbalance == 1.0
+
+
+class TestFleetMechanics:
+    def test_partition_preserves_order_and_covers_the_trace(self):
+        engine = Engine(fleet_config())
+        fleet = engine.build_fleet()
+        trace = engine.build_trace()
+        sub_traces = fleet.partition(trace)
+        assert len(sub_traces) == fleet.num_shards
+        merged = sorted(
+            (request for sub in sub_traces for request in sub),
+            key=lambda request: request.request_id,
+        )
+        assert merged == sorted(trace, key=lambda request: request.request_id)
+        for shard, sub in enumerate(sub_traces):
+            # Arrival order survives the split and keys route to this shard.
+            times = [request.arrival_time for request in sub]
+            assert times == sorted(times)
+            assert all(fleet.router.route(request.key) == shard for request in sub)
+
+    def test_per_shard_overrides_specialize_servers(self):
+        config = fleet_config(
+            num_shards=2,
+            overrides={1: {"num_workers": 5, "cache": {"capacity_bytes": 60_000}}},
+        )
+        fleet = Engine(config).build_fleet()
+        assert fleet.servers[0].config.num_workers == 2
+        assert fleet.servers[0].cache.capacity_bytes == 150_000
+        assert fleet.servers[1].config.num_workers == 5
+        assert fleet.servers[1].cache.capacity_bytes == 60_000
+
+    def test_shards_do_not_share_mutable_state(self):
+        fleet = Engine(fleet_config()).build_fleet()
+        caches = [server.cache for server in fleet.servers]
+        policies = [server.policy for server in fleet.servers]
+        assert len(set(map(id, caches))) == len(caches)
+        assert len(set(map(id, policies))) == len(policies)
+        # The store contents are immutable under serving, so sharing is safe.
+        assert len({id(server.store) for server in fleet.servers}) == 1
+
+    def test_empty_trace_and_empty_fleet_raise(self):
+        engine = Engine(fleet_config())
+        fleet = engine.build_fleet()
+        with pytest.raises(ValueError, match="empty trace"):
+            fleet.run([])
+        with pytest.raises(ValueError, match="at least one server"):
+            ShardedFleet([])
+
+    def test_router_shard_mismatch_raises(self):
+        engine = Engine(fleet_config(num_shards=2))
+        servers = engine.build_fleet().servers
+        with pytest.raises(ValueError, match="do not match"):
+            ShardedFleet(servers, router=ConsistentHashRouter([0, 1, 2]))
+
+    def test_closed_loop_traffic_rejects_sharding(self):
+        config = fleet_config()
+        config = replace(
+            config,
+            serving=replace(
+                config.serving,
+                arrivals=ArrivalsConfig(
+                    name="closed-loop",
+                    options={"num_clients": 2, "requests_per_client": 2, "seed": 0},
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="open-loop"):
+            Engine(config).serve()
+
+
+class TestFleetConfigValidation:
+    def test_round_trips_through_json(self):
+        config = fleet_config(overrides={0: {"num_workers": 4}})
+        assert EngineConfig.from_json(config.to_json()) == config
+
+    def test_bad_shard_index_rejected(self):
+        with pytest.raises(ValueError, match="shard index"):
+            FleetConfig(num_shards=2, overrides={5: {"num_workers": 1}})
+
+    def test_traffic_overrides_rejected(self):
+        with pytest.raises(ValueError, match="fleet-wide"):
+            FleetConfig(num_shards=2, overrides={0: {"num_requests": 5}})
+
+    def test_unknown_override_field_fails_at_build_time(self):
+        config = fleet_config(overrides={0: {"no_such_field": 1}})
+        with pytest.raises(ValueError, match="no_such_field"):
+            Engine(config).build_fleet()
