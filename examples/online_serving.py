@@ -1,21 +1,26 @@
 """Online serving demo: bursty traffic through the dynamic-resolution server.
 
 Builds a tiny progressive image store, then serves the same bursty ON/OFF
-trace four ways on the discrete-event simulator:
+trace six ways on the discrete-event simulator:
 
 * a static-resolution baseline with no cache tier;
 * the dynamic two-model pipeline with no cache tier;
 * the dynamic pipeline behind the scan-granular LRU cache;
 * the cached dynamic pipeline wrapped in the load-adaptive policy that
-  degrades resolution when the queue gets deep.
+  degrades resolution when the queue gets deep;
+* the cached pipeline with the ``next-scan`` prefetcher topping up cache
+  prefixes during the OFF phases of the bursts;
+* the cached pipeline with the ``ewma`` admission controller shedding
+  arrivals when the smoothed queue depth crosses its threshold.
 
 Every scenario is a declarative :class:`~repro.api.config.EngineConfig` —
-the four differ only in their ``policy``/``serving.cache`` sections — and
-is built and run by the :class:`~repro.api.engine.Engine` facade.  The
-store and backbone are shared across engines so all scenarios serve the
-identical trace.  ``examples/configs/serving_bursty.json`` is the last
-(and richest) of these configs; ``python -m repro serve`` runs it without
-this script.
+they differ only in their ``policy``/``serving.cache``/``serving.admission``
+/``serving.prefetch`` sections — and is built and run by the
+:class:`~repro.api.engine.Engine` facade.  The store and backbone are
+shared across engines so all scenarios serve the identical trace.
+``examples/configs/serving_bursty.json``, ``serving_prefetch.json`` and
+``serving_admission.json`` are the standalone-config versions;
+``python -m repro serve`` runs each without this script.
 
 Run:  python examples/online_serving.py
 """
@@ -26,11 +31,13 @@ from repro.analysis.report import format_table
 from repro.api import Engine, EngineConfig
 from repro.api.config import (
     AdaptiveConfig,
+    AdmissionConfig,
     ArrivalsConfig,
     BackboneConfig,
     BatchCostConfig,
     CacheConfig,
     PolicyConfig,
+    PrefetchConfig,
     ServingConfig,
     StoreConfig,
 )
@@ -66,7 +73,12 @@ DYNAMIC_POLICY = PolicyConfig(
 )
 
 
-def make_config(policy: PolicyConfig, cache_bytes: int | None) -> EngineConfig:
+def make_config(
+    policy: PolicyConfig,
+    cache_bytes: int | None,
+    admission: AdmissionConfig | None = None,
+    prefetch: PrefetchConfig | None = None,
+) -> EngineConfig:
     return EngineConfig(
         resolutions=RESOLUTIONS,
         scale_resolution=SCALE_RESOLUTION,
@@ -94,6 +106,8 @@ def make_config(policy: PolicyConfig, cache_bytes: int | None) -> EngineConfig:
             scale_model_seconds=0.0004,
             cache=None if cache_bytes is None else CacheConfig(capacity_bytes=cache_bytes),
             batch_cost=BatchCostConfig(name="hwsim", machine="4790K"),
+            admission=admission,
+            prefetch=prefetch,
         ),
     )
 
@@ -112,6 +126,27 @@ SCENARIOS = [
                 adaptive=AdaptiveConfig(queue_threshold=6),
             ),
             CACHE_BYTES,
+        ),
+    ),
+    (
+        "dynamic+cache+prefetch",
+        make_config(
+            DYNAMIC_POLICY,
+            CACHE_BYTES,
+            prefetch=PrefetchConfig(
+                name="next-scan",
+                options=dict(idle_threshold_s=0.05, max_keys_per_gap=4, seed=11),
+            ),
+        ),
+    ),
+    (
+        "dynamic+cache+admission",
+        make_config(
+            DYNAMIC_POLICY,
+            CACHE_BYTES,
+            admission=AdmissionConfig(
+                name="ewma", options=dict(alpha=0.3, depth_threshold=10.0)
+            ),
         ),
     ),
 ]
@@ -146,6 +181,8 @@ def main() -> None:
                 "-" if report.cache_hit_rate is None
                 else f"{100.0 * report.cache_hit_rate:.0f}%",
                 report.degraded_requests,
+                report.dropped_requests,
+                report.prefetch_hits,
             ]
         )
 
@@ -161,6 +198,8 @@ def main() -> None:
                 "bytes saved %",
                 "cache hits",
                 "degraded",
+                "dropped",
+                "prefetch hits",
             ],
             rows,
             float_format="{:.1f}",

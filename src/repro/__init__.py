@@ -48,7 +48,7 @@ PAPER_RESOLUTIONS = (112, 168, 224, 280, 336, 392, 448)
 PAPER_CROP_RATIOS = (0.25, 0.56, 0.75, 1.00)
 """The center-crop area ratios used in the paper's accuracy/FLOPs study."""
 
-_API_EXPORTS = ("Engine", "EngineConfig", "registry")
+_API_EXPORTS = ("Engine", "EngineConfig", "Report", "registry")
 
 #: Lazy re-exports living outside ``repro.api``: name -> defining module.
 _LAZY_EXPORTS = {

@@ -12,6 +12,9 @@ One entry point for every experiment and serving scenario in the repo:
 * :mod:`repro.api.engine` — the :class:`Engine` facade that builds the
   pipeline/server/experiment from a config and exposes ``run_experiment``,
   ``serve`` and ``sweep``;
+* :mod:`repro.api.reports` — the unified :class:`Report` schema every
+  report type (SLO, fleet, experiment) serializes through
+  (``Report.from_dict(r.to_dict()) == r``);
 * :mod:`repro.api.cli` — ``python -m repro run|serve|sweep|list-components``.
 
 This ``__init__`` resolves its exports lazily (PEP 562): the component
@@ -27,20 +30,24 @@ from typing import Any
 
 _CONFIG_EXPORTS = (
     "AdaptiveConfig",
+    "AdmissionConfig",
     "ArrivalsConfig",
     "BackboneConfig",
     "BatchCostConfig",
     "CacheConfig",
     "EngineConfig",
     "ExperimentConfig",
+    "FleetConfig",
     "PolicyConfig",
+    "PrefetchConfig",
     "ServingConfig",
     "StoreConfig",
     "load_config",
 )
 _ENGINE_EXPORTS = ("Engine", "ExperimentResult", "SweepPoint")
+_REPORT_EXPORTS = ("Report", "REPORT_TYPES", "report_type")
 
-__all__ = [*_CONFIG_EXPORTS, *_ENGINE_EXPORTS, "registry"]
+__all__ = [*_CONFIG_EXPORTS, *_ENGINE_EXPORTS, *_REPORT_EXPORTS, "registry"]
 
 
 def __getattr__(name: str) -> Any:
@@ -58,6 +65,13 @@ def __getattr__(name: str) -> Any:
         from repro.api import engine
 
         return getattr(engine, name)
+    if name in _REPORT_EXPORTS:
+        # Importing the engine first guarantees every report type is
+        # registered before anyone calls Report.from_dict.
+        from repro.api import engine  # noqa: F401
+        from repro.api import reports
+
+        return getattr(reports, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -6,6 +6,9 @@ Usage (``python -m repro ...``):
   experiment (a paper table/figure) and print its deterministic table;
 * ``serve <config.json>`` — build the serving tier and drive the configured
   traffic through the discrete-event simulator; prints the SLO report;
+* ``run``/``serve`` accept ``--json`` to emit the report through the
+  unified :class:`~repro.api.reports.Report` schema instead of plain text
+  (``Report.from_dict`` round-trips the output);
 * ``sweep <config.json> [--param path=v1,v2,...]`` — serve every point of
   the override grid (from the config's ``sweep`` section and/or ``--param``
   flags) and print one summary row per point;
@@ -47,6 +50,9 @@ def _parse_param(text: str) -> tuple[str, list]:
 def cmd_run(args: argparse.Namespace) -> int:
     engine = Engine(load_config(args.config))
     result = engine.run_experiment(args.experiment)
+    if args.json:
+        print(result.to_json())
+        return 0
     print(result.format())
     return 0
 
@@ -54,13 +60,21 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     engine = Engine(load_config(args.config))
     report = engine.serve()
+    if args.json:
+        print(report.to_json())
+        return 0
     config = engine.config
     print(f"config                 {args.config}")
     print(f"policy                 {config.policy.name}")
-    arrivals = config.serving.arrivals if config.serving else None
+    serving = config.serving
+    arrivals = serving.arrivals if serving else None
     if arrivals is not None:
         print(f"traffic                {arrivals.name}")
-    fleet = config.serving.fleet if config.serving else None
+    if serving is not None and serving.admission is not None:
+        print(f"admission              {serving.admission.name}")
+    if serving is not None and serving.prefetch is not None:
+        print(f"prefetch               {serving.prefetch.name}")
+    fleet = serving.fleet if serving else None
     if fleet is not None:
         print(f"router                 {fleet.router} ({fleet.virtual_nodes} vnodes)")
     print(report.format())
@@ -116,10 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="experiment name (default: the config's experiment section)",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result through the unified Report JSON schema",
+    )
     run.set_defaults(func=cmd_run)
 
     serve = commands.add_parser("serve", help="serve the configured traffic")
     serve.add_argument("config", help="path to an EngineConfig JSON file")
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report through the unified Report JSON schema",
+    )
     serve.set_defaults(func=cmd_serve)
 
     sweep = commands.add_parser("sweep", help="serve a grid of config overrides")

@@ -16,5 +16,6 @@ from repro.nn import resnet as _resnet  # noqa: F401
 from repro.serving import arrivals as _arrivals  # noqa: F401
 from repro.serving import batcher as _batcher  # noqa: F401
 from repro.serving import cache as _cache  # noqa: F401
+from repro.serving import control as _control  # noqa: F401
 from repro.serving import fleet as _fleet  # noqa: F401
 from repro.serving import policies as _serving_policies  # noqa: F401

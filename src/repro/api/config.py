@@ -234,6 +234,86 @@ class CacheConfig(_DictMixin):
 
 
 @dataclass(frozen=True)
+class AdmissionConfig(_DictMixin):
+    """Admission control by registry name plus policy keyword arguments.
+
+    The default (section absent) is the no-op ``always-admit`` policy, which
+    reproduces the pre-control-plane server byte-for-byte.  Option checks
+    are gated on the policy *name*: custom registered policies own their
+    option semantics (their constructors validate at build time), so a
+    custom option that happens to be called ``alpha`` is not constrained
+    by the built-in controller's range.
+    """
+
+    name: str = "always-admit"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "admission.name must be non-empty")
+        _require(
+            isinstance(self.options, dict), "admission.options must be a mapping"
+        )
+        if self.name != "ewma":
+            return
+        for option in ("alpha", "latency_alpha"):
+            value = self.options.get(option)
+            _require(
+                value is None
+                or (isinstance(value, (int, float)) and 0.0 < value <= 1.0),
+                f"admission.options.{option} must be in (0, 1]",
+            )
+        for option in ("depth_threshold", "deadline_s"):
+            value = self.options.get(option)
+            _require(
+                value is None or (isinstance(value, (int, float)) and value > 0),
+                f"admission.options.{option} must be a positive number",
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdmissionConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PrefetchConfig(_DictMixin):
+    """Cache prefetching by registry name plus policy keyword arguments.
+
+    The default (section absent) is the no-op ``none`` policy: the cache
+    tier stays purely demand-fill.  As with admission, option checks are
+    gated on the policy name — custom policies validate their own options
+    at build time.
+    """
+
+    name: str = "none"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "prefetch.name must be non-empty")
+        _require(isinstance(self.options, dict), "prefetch.options must be a mapping")
+        if self.name != "next-scan":
+            return
+        threshold = self.options.get("idle_threshold_s")
+        _require(
+            threshold is None
+            or (isinstance(threshold, (int, float)) and threshold > 0),
+            "prefetch.options.idle_threshold_s must be a positive number",
+        )
+        per_gap = self.options.get("max_keys_per_gap")
+        _require(
+            per_gap is None or (isinstance(per_gap, int) and per_gap > 0),
+            "prefetch.options.max_keys_per_gap must be a positive integer",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PrefetchConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class BatchCostConfig(_DictMixin):
     """Batch execution pricing: linear (tests) or hwsim (analytical model)."""
 
@@ -310,8 +390,11 @@ class FleetConfig(_DictMixin):
 class ServingConfig(_DictMixin):
     """The serving tier: traffic, worker pool, batching, cache, pricing.
 
+    Optional ``admission`` and ``prefetch`` sections plug control-plane
+    policies into the event loop (absent sections mean the no-op defaults).
     An optional ``fleet`` section shards this tier across several servers
-    (each with its own cache and worker pool) behind a key router.
+    (each with its own cache, worker pool and control-plane policies)
+    behind a key router.
     """
 
     arrivals: ArrivalsConfig = field(default_factory=ArrivalsConfig)
@@ -322,6 +405,8 @@ class ServingConfig(_DictMixin):
     scale_model_seconds: float = 0.0
     cache: CacheConfig | None = None
     batch_cost: BatchCostConfig = field(default_factory=BatchCostConfig)
+    admission: AdmissionConfig | None = None
+    prefetch: PrefetchConfig | None = None
     fleet: FleetConfig | None = None
 
     def __post_init__(self) -> None:
@@ -343,6 +428,8 @@ class ServingConfig(_DictMixin):
         data["batch_cost"] = _pop_section(
             data, "batch_cost", BatchCostConfig, BatchCostConfig()
         )
+        data["admission"] = _pop_section(data, "admission", AdmissionConfig)
+        data["prefetch"] = _pop_section(data, "prefetch", PrefetchConfig)
         data["fleet"] = _pop_section(data, "fleet", FleetConfig)
         return cls(**data)
 

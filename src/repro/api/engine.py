@@ -30,12 +30,14 @@ from repro.api import components  # noqa: F401  (populates the registries)
 from repro.api.config import EngineConfig, load_config
 from repro.api.experiments import ExperimentResult
 from repro.api.registry import (
+    ADMISSION_POLICIES,
     ARRIVALS,
     BACKBONES,
     BATCH_COSTS,
     CACHES,
     EXPERIMENTS,
     MACHINES,
+    PREFETCH_POLICIES,
     PROFILES,
     RESOLUTION_POLICIES,
     ROUTERS,
@@ -48,6 +50,7 @@ from repro.nn.module import Module
 from repro.serving.arrivals import ClosedLoopClients, Request
 from repro.serving.batcher import BatchCostModel
 from repro.serving.cache import ScanCache
+from repro.serving.control import AdmissionPolicy, PrefetchPolicy
 from repro.serving.fleet import FleetReport, ShardedFleet
 from repro.serving.metrics import SLOReport
 from repro.serving.server import InferenceServer, ServerConfig
@@ -177,6 +180,22 @@ class Engine:
             )
         return BATCH_COSTS.build(section.name, **section.options)
 
+    def build_admission(self, serving=None) -> AdmissionPolicy:
+        """The admission policy of ``serving.admission`` (no-op when absent)."""
+        serving = serving if serving is not None else self._serving_section()
+        section = serving.admission
+        if section is None:
+            return ADMISSION_POLICIES.build("always-admit")
+        return ADMISSION_POLICIES.build(section.name, **section.options)
+
+    def build_prefetch(self, serving=None) -> PrefetchPolicy:
+        """The prefetch policy of ``serving.prefetch`` (no-op when absent)."""
+        serving = serving if serving is not None else self._serving_section()
+        section = serving.prefetch
+        if section is None:
+            return PREFETCH_POLICIES.build("none")
+        return PREFETCH_POLICIES.build(section.name, **section.options)
+
     def build_server(self, serving=None) -> InferenceServer:
         """The full serving tier of ``config.serving`` over this engine's store.
 
@@ -201,6 +220,8 @@ class Engine:
             read_policy=self.build_read_policy(),
             cache=self.build_cache(serving),
             batch_cost=self.build_batch_cost(serving),
+            admission=self.build_admission(serving),
+            prefetch=self.build_prefetch(serving),
         )
 
     def build_fleet(self) -> ShardedFleet:

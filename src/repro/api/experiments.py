@@ -29,19 +29,45 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import format_table
 from repro.api.registry import EXPERIMENTS, MACHINES
+from repro.api.reports import Report, report_type
 from repro.surrogate.anchors import RESOLUTIONS
 
 if TYPE_CHECKING:  # the engine imports this module; avoid the cycle at runtime
     from repro.api.engine import Engine
 
 
+def _restore_int_keys(value):
+    """Undo JSON's key stringification: digit-string dict keys become ints.
+
+    Experiment ``data`` dicts key on resolutions and seeds (ints); JSON
+    turns those into strings, so the from_json round-trip restores them.
+    Experiments must therefore not use *genuinely string* digit keys.
+    """
+    if isinstance(value, dict):
+        return {
+            (int(key) if isinstance(key, str) and key.isdigit() else key):
+                _restore_int_keys(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, list):
+        return [_restore_int_keys(item) for item in value]
+    return value
+
+
+@report_type("experiment")
 @dataclass(frozen=True)
-class ExperimentResult:
+class ExperimentResult(Report):
     """What a named experiment returns: a deterministic table plus raw data."""
 
     name: str
     table: str
     data: dict
+
+    @classmethod
+    def _decode(cls, data: dict) -> "ExperimentResult":
+        data = dict(data)
+        data["data"] = _restore_int_keys(data.get("data", {}))
+        return cls(**data)
 
     def format(self) -> str:
         return f"===== {self.name} =====\n{self.table}"

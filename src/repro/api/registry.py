@@ -115,6 +115,12 @@ BATCH_COSTS = Registry("batch cost model")
 #: Request routers for sharded fleets (``repro.serving.fleet``).
 ROUTERS = Registry("router")
 
+#: Admission policies of the serving control plane (``repro.serving.control``).
+ADMISSION_POLICIES = Registry("admission policy")
+
+#: Prefetch policies of the serving control plane (``repro.serving.control``).
+PREFETCH_POLICIES = Registry("prefetch policy")
+
 #: CPU machine-model presets (``repro.hwsim.machine``); entries are instances.
 MACHINES = Registry("machine model")
 
@@ -135,6 +141,8 @@ def all_registries() -> dict[str, Registry]:
         "batchers": BATCHERS,
         "batch-costs": BATCH_COSTS,
         "routers": ROUTERS,
+        "admission-policies": ADMISSION_POLICIES,
+        "prefetch-policies": PREFETCH_POLICIES,
         "machines": MACHINES,
         "profiles": PROFILES,
         "experiments": EXPERIMENTS,

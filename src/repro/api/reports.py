@@ -1,0 +1,90 @@
+"""One serializable schema for every report the system produces.
+
+:class:`~repro.serving.metrics.SLOReport` (one server run),
+:class:`~repro.serving.fleet.FleetReport` (a sharded run) and
+:class:`~repro.api.experiments.ExperimentResult` (a paper table/figure)
+historically each had their own shape; sweeps and the CLI had to know which
+one they were holding.  :class:`Report` unifies them: every report is a
+frozen dataclass registered under a stable ``kind`` string, ``to_dict``
+produces a plain-JSON dict tagged with that kind, and ``Report.from_dict``
+dispatches the tag back to the right class — so
+``Report.from_dict(report.to_dict()) == report`` round-trips for every
+report type, nested ones included.
+
+Like :mod:`repro.api.registry`, this module imports nothing from the rest
+of ``repro``: report classes import it to register themselves at definition
+time, keeping the dependency direction implementation → schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import fields
+from typing import Any, Callable, ClassVar
+
+#: Registered report classes by their stable ``kind`` tag.
+REPORT_TYPES: dict[str, type["Report"]] = {}
+
+
+def report_type(kind: str) -> Callable[[type], type]:
+    """Class decorator: register a :class:`Report` subclass under ``kind``."""
+
+    def _register(cls: type) -> type:
+        if kind in REPORT_TYPES:
+            raise ValueError(f"duplicate report kind {kind!r}; already registered")
+        cls.kind = kind
+        REPORT_TYPES[kind] = cls
+        return cls
+
+    return _register
+
+
+def _encode(value: Any) -> Any:
+    """Recursively convert report fields into plain dicts/lists/scalars."""
+    if isinstance(value, Report):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _encode(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, dict):
+        return {key: _encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    return value
+
+
+class Report:
+    """Base class: a frozen-dataclass report with a tagged dict schema.
+
+    Subclasses are dataclasses decorated with :func:`report_type`; they
+    override :meth:`_decode` when a field needs more than ``cls(**data)``
+    (nested reports, int-keyed histograms JSON turned into strings, ...).
+    """
+
+    kind: ClassVar[str] = "report"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON dict of this report, tagged with its ``kind``."""
+        encoded = {f.name: _encode(getattr(self, f.name)) for f in fields(self)}
+        return {"kind": self.kind, **encoded}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_dict(data: dict) -> "Report":
+        """Rebuild any registered report from its tagged dict."""
+        data = dict(data)
+        kind = data.pop("kind", None)
+        if kind not in REPORT_TYPES:
+            known = ", ".join(sorted(REPORT_TYPES)) or "<none>"
+            raise KeyError(f"unknown report kind {kind!r}; known kinds: {known}")
+        return REPORT_TYPES[kind]._decode(data)
+
+    @staticmethod
+    def from_json(text: str) -> "Report":
+        return Report.from_dict(json.loads(text))
+
+    @classmethod
+    def _decode(cls, data: dict) -> "Report":
+        return cls(**data)

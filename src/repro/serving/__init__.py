@@ -13,9 +13,16 @@ composes every existing layer under one simulated clock:
   resolution, priced by :mod:`repro.hwsim.latency`;
 * :mod:`repro.serving.policies` — a load-adaptive wrapper that degrades
   resolution choices when the serving queue is deep;
-* :mod:`repro.serving.server` — the event loop: arrivals → cache/store
-  reads → scale-model resolution choice → batched backbone execution on a
-  bounded worker pool;
+* :mod:`repro.serving.events` — the frozen lifecycle-event hierarchy the
+  event loop narrates itself with (arrival → cache probe → admission/drop →
+  batch flush → completion) and the observer interface;
+* :mod:`repro.serving.control` — the pluggable control plane: admission
+  and prefetch policy protocols with no-op defaults, an EWMA queue-depth
+  admission controller with deadlines and drop accounting, and a seeded
+  next-scan-level prefetcher for OFF phases of bursty traffic;
+* :mod:`repro.serving.server` — the event loop: arrivals → admission →
+  cache/store reads → scale-model resolution choice → batched backbone
+  execution on a bounded worker pool;
 * :mod:`repro.serving.metrics` — per-run SLO reports (throughput, latency
   percentiles, cache effectiveness, bytes and dollars saved);
 * :mod:`repro.serving.fleet` — multi-node composition: a seeded
@@ -42,6 +49,28 @@ from repro.serving.batcher import (
     LinearBatchCost,
 )
 from repro.serving.cache import CacheRead, CacheStats, ScanCache
+from repro.serving.control import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AlwaysAdmit,
+    EwmaAdmissionController,
+    NextScanPrefetcher,
+    NoPrefetch,
+    PrefetchAction,
+    PrefetchPolicy,
+)
+from repro.serving.events import (
+    BatchFlushed,
+    CacheProbed,
+    EventLog,
+    PrefetchIssued,
+    RequestAdmitted,
+    RequestArrived,
+    RequestCompleted,
+    RequestDropped,
+    ServerEvent,
+    ServerObserver,
+)
 from repro.serving.fleet import (
     ConsistentHashRouter,
     FleetReport,
@@ -67,6 +96,24 @@ __all__ = [
     "LinearBatchCost",
     "HwSimBatchCost",
     "LoadAdaptiveResolutionPolicy",
+    "ServerEvent",
+    "RequestArrived",
+    "CacheProbed",
+    "RequestAdmitted",
+    "RequestDropped",
+    "PrefetchIssued",
+    "BatchFlushed",
+    "RequestCompleted",
+    "ServerObserver",
+    "EventLog",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "EwmaAdmissionController",
+    "PrefetchAction",
+    "PrefetchPolicy",
+    "NoPrefetch",
+    "NextScanPrefetcher",
     "InferenceServer",
     "ServerConfig",
     "ConsistentHashRouter",

@@ -1,0 +1,121 @@
+"""Lifecycle events of the serving event loop.
+
+The :class:`~repro.serving.server.InferenceServer` narrates every request's
+life as a stream of frozen :class:`ServerEvent` objects — arrival, cache
+probe, admission or drop, batch flush, completion — delivered to registered
+observers in simulated-time order.  This is the seam the control plane
+plugs into: admission and prefetch policies
+(:mod:`repro.serving.control`) are observers that also get asked for
+decisions, while passive observers (an :class:`EventLog`, a metrics
+exporter, a test assertion) just watch.
+
+Events are immutable and carry values, not live objects, wherever practical
+— observers must never mutate the loop's state through an event.  Because
+the event loop is deterministic, the event stream is too: two runs of the
+same configuration produce identical streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.arrivals import Request
+from repro.serving.metrics import ServedRequest
+
+
+@dataclass(frozen=True)
+class ServerEvent:
+    """Base class: something that happened at simulated ``time``."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class RequestArrived(ServerEvent):
+    """A request reached the server; ``queue_depth`` is the depth it saw."""
+
+    request: Request
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class CacheProbed(ServerEvent):
+    """The cache tier was consulted before the stage-1 read.
+
+    ``resident_scans`` is how many scans of the key were already cached
+    (0 on a miss or when no cache tier is configured); ``requested_scans``
+    is the stage-1 prefix the read policy asked for.
+    """
+
+    request: Request
+    requested_scans: int
+    resident_scans: int
+
+
+@dataclass(frozen=True)
+class RequestAdmitted(ServerEvent):
+    """Admission granted: reads are done and the resolution is chosen."""
+
+    request: Request
+    resolution: int
+    scans_read: int
+    bytes_from_store: int
+    bytes_from_cache: int
+    ready_time: float
+
+
+@dataclass(frozen=True)
+class RequestDropped(ServerEvent):
+    """Admission refused; ``reason`` comes from the admission policy."""
+
+    request: Request
+    reason: str
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class PrefetchIssued(ServerEvent):
+    """The prefetch policy topped up a cache prefix during an idle gap."""
+
+    key: str
+    num_scans: int
+    bytes_fetched: int
+
+
+@dataclass(frozen=True)
+class BatchFlushed(ServerEvent):
+    """A batch left the batcher for (a queue slot on) the worker pool."""
+
+    resolution: int
+    batch_size: int
+
+
+@dataclass(frozen=True)
+class RequestCompleted(ServerEvent):
+    """A request finished executing; ``record`` is its full accounting."""
+
+    record: ServedRequest
+
+
+class ServerObserver:
+    """Interface for event-stream consumers (default: ignore everything)."""
+
+    def on_event(self, event: ServerEvent) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class EventLog(ServerObserver):
+    """An observer that records the whole stream (tests, examples, debugging)."""
+
+    def __init__(self) -> None:
+        self.events: list[ServerEvent] = []
+
+    def on_event(self, event: ServerEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, *event_types: type) -> list[ServerEvent]:
+        """The recorded events of the given type(s), in emission order."""
+        return [event for event in self.events if isinstance(event, event_types)]
+
+    def clear(self) -> None:
+        self.events = []

@@ -38,6 +38,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Iterable, Sequence
 
 from repro.api.registry import ROUTERS
+from repro.api.reports import Report, report_type
 from repro.serving.arrivals import Request
 from repro.serving.cache import CacheStats
 from repro.serving.metrics import SLOReport, build_report
@@ -153,17 +154,26 @@ class ConsistentHashRouter:
 # ---------------------------------------------------------------------------
 
 
+@report_type("shard")
 @dataclass(frozen=True)
-class ShardReport:
+class ShardReport(Report):
     """One shard's slice of a fleet run (``report`` is None for idle shards)."""
 
     shard_id: int
     num_requests: int
     report: SLOReport | None
 
+    @classmethod
+    def _decode(cls, data: dict) -> "ShardReport":
+        data = dict(data)
+        if data.get("report") is not None:
+            data["report"] = Report.from_dict(data["report"])
+        return cls(**data)
 
+
+@report_type("fleet")
 @dataclass(frozen=True)
-class FleetReport:
+class FleetReport(Report):
     """Per-shard and fleet-wide SLOs for one sharded serving run.
 
     ``fleet`` aggregates every served request across shards: throughput over
@@ -179,11 +189,28 @@ class FleetReport:
     load_imbalance: float
     idle_shards: int
 
+    @classmethod
+    def _decode(cls, data: dict) -> "FleetReport":
+        data = dict(data)
+        data["shards"] = tuple(
+            Report.from_dict(shard) for shard in data.get("shards", [])
+        )
+        data["fleet"] = Report.from_dict(data["fleet"])
+        return cls(**data)
+
     # Convenience delegates so sweeps and tables can treat a FleetReport
     # like a single-server SLOReport.
     @property
     def num_requests(self) -> int:
         return self.fleet.num_requests
+
+    @property
+    def dropped_requests(self) -> int:
+        return self.fleet.dropped_requests
+
+    @property
+    def drop_rate(self) -> float:
+        return self.fleet.drop_rate
 
     @property
     def throughput_rps(self) -> float:
@@ -222,6 +249,12 @@ class FleetReport:
                 lines.append(f"                       {shard.shard_id:>2}     0    idle")
                 continue
             report = shard.report
+            if report.num_requests == 0:
+                lines.append(
+                    f"                       {shard.shard_id:>2}     0    "
+                    f"all {report.dropped_requests} dropped"
+                )
+                continue
             hit = (
                 f"{100.0 * report.cache_hit_rate:7.1f}"
                 if report.cache_hit_rate is not None
@@ -317,6 +350,10 @@ class ShardedFleet:
         merged_served = []
         store_requests = 0
         degraded = 0
+        dropped = 0
+        prefetch_bytes = 0
+        prefetch_hits = 0
+        prefetch_wasted = 0
         cache_stats = []
         for shard_id, (server, sub_trace) in enumerate(zip(self.servers, sub_traces)):
             if not sub_trace:
@@ -327,6 +364,10 @@ class ShardedFleet:
             merged_served.extend(server.last_served)
             store_requests += server.store_requests
             degraded += report.degraded_requests
+            dropped += report.dropped_requests
+            prefetch_bytes += report.prefetch_bytes
+            prefetch_hits += report.prefetch_hits
+            prefetch_wasted += report.prefetch_wasted_bytes
             if server.cache is not None:
                 cache_stats.append(server.cache.stats)
 
@@ -336,13 +377,19 @@ class ShardedFleet:
             store_requests=store_requests,
             cache_stats=_merge_cache_stats(cache_stats),
             degraded_requests=degraded,
+            dropped_requests=dropped,
+            prefetch_bytes=prefetch_bytes,
+            prefetch_hits=prefetch_hits,
+            prefetch_wasted_bytes=prefetch_wasted,
         )
-        counts = [shard.num_requests for shard in shard_reports]
-        mean_count = len(trace) / self.num_shards
+        # Imbalance is over *offered* (routed) per-shard load: what the
+        # router dealt each shard, before any admission policy shed work.
+        offered = [len(sub_trace) for sub_trace in sub_traces]
+        mean_offered = len(trace) / self.num_shards
         return FleetReport(
             num_shards=self.num_shards,
             shards=tuple(shard_reports),
             fleet=fleet,
-            load_imbalance=max(counts) / mean_count,
-            idle_shards=sum(1 for count in counts if count == 0),
+            load_imbalance=max(offered) / mean_offered,
+            idle_shards=sum(1 for count in offered if count == 0),
         )

@@ -4,11 +4,18 @@ A serving run produces one :class:`ServedRequest` per completed request
 with its full timeline (arrival → ready → dispatch → completion) and byte
 provenance (store vs cache).  :func:`build_report` folds those into an
 :class:`SLOReport`: throughput, latency percentiles, batching behaviour,
-cache effectiveness, bytes read versus the all-data baseline, and the
-dollar cost of the bytes actually moved (via
-:class:`~repro.storage.bandwidth.StorageBandwidthModel`, the paper's
+cache effectiveness, admission drops, prefetch payoff, bytes read versus
+the all-data baseline, and the dollar cost of the bytes actually moved
+(via :class:`~repro.storage.bandwidth.StorageBandwidthModel`, the paper's
 cloud-economics model).  Reports are plain frozen dataclasses so two
-deterministic runs can be compared with ``==``.
+deterministic runs can be compared with ``==``; they are also
+:class:`~repro.api.reports.Report` subclasses, so they serialize through
+the unified ``to_dict``/``from_dict`` schema the CLI and sweeps share.
+
+An empty record list (every arrival dropped, or a zero-length run) is a
+well-defined report — zero requests, ``None`` percentiles — not an error:
+an admission policy that sheds all load is a legitimate outcome the
+control plane must be able to describe.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.reports import Report, report_type
 from repro.storage.bandwidth import StorageBandwidthModel
 
 from repro.serving.cache import CacheStats
@@ -57,20 +65,27 @@ class ServedRequest:
         return self.prediction == self.label
 
 
+@report_type("slo")
 @dataclass(frozen=True)
-class SLOReport:
-    """Aggregate service-level metrics for one serving run."""
+class SLOReport(Report):
+    """Aggregate service-level metrics for one serving run.
+
+    The latency/batch statistics are ``None`` when ``num_requests`` is zero
+    (percentiles of an empty population are undefined), as is ``accuracy``
+    when no served request carried a label; every byte and count field is
+    still well-defined.
+    """
 
     num_requests: int
     duration_s: float
     throughput_rps: float
-    mean_latency_ms: float
-    p50_latency_ms: float
-    p95_latency_ms: float
-    p99_latency_ms: float
-    mean_queue_wait_ms: float
-    mean_batch_size: float
-    accuracy: float
+    mean_latency_ms: float | None
+    p50_latency_ms: float | None
+    p95_latency_ms: float | None
+    p99_latency_ms: float | None
+    mean_queue_wait_ms: float | None
+    mean_batch_size: float | None
+    accuracy: float | None
     bytes_from_store: int
     bytes_from_cache: int
     baseline_bytes: int
@@ -81,9 +96,45 @@ class SLOReport:
     cache_hit_rate: float | None
     degraded_requests: int
     resolution_histogram: dict = field(default_factory=dict)
+    dropped_requests: int = 0
+    prefetch_bytes: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted_bytes: int = 0
+
+    @property
+    def offered_requests(self) -> int:
+        """Arrivals the run saw: served plus dropped."""
+        return self.num_requests + self.dropped_requests
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered requests the admission policy dropped."""
+        if self.offered_requests == 0:
+            return 0.0
+        return self.dropped_requests / self.offered_requests
+
+    @classmethod
+    def _decode(cls, data: dict) -> "SLOReport":
+        data = dict(data)
+        # JSON object keys are strings; histogram keys are resolutions.
+        data["resolution_histogram"] = {
+            int(resolution): count
+            for resolution, count in data.get("resolution_histogram", {}).items()
+        }
+        return cls(**data)
 
     def format(self) -> str:
         """Deterministic plain-text rendering of the report."""
+        if self.num_requests == 0:
+            lines = [
+                "requests served        0",
+                f"requests dropped       {self.dropped_requests}",
+            ]
+            if self.cache_hit_rate is not None:
+                lines.append(
+                    f"cache hit rate         {100.0 * self.cache_hit_rate:.1f} %"
+                )
+            return "\n".join(lines)
         lines = [
             f"requests served        {self.num_requests}",
             f"duration               {self.duration_s:.4f} s",
@@ -92,7 +143,11 @@ class SLOReport:
             f"latency p95/p99        {self.p95_latency_ms:.2f} / {self.p99_latency_ms:.2f} ms",
             f"mean queue wait        {self.mean_queue_wait_ms:.2f} ms",
             f"mean batch size        {self.mean_batch_size:.2f}",
-            f"accuracy               {self.accuracy:.1f} %",
+            (
+                f"accuracy               {self.accuracy:.1f} %"
+                if self.accuracy is not None
+                else "accuracy               n/a (unlabelled)"
+            ),
             f"bytes from store       {self.bytes_from_store}",
             f"bytes from cache       {self.bytes_from_cache}",
             f"bytes saved vs full    {self.bytes_saved} ({100.0 * self.relative_bytes_saved:.1f} %)",
@@ -102,6 +157,16 @@ class SLOReport:
             lines.append(f"cache hit rate         {100.0 * self.cache_hit_rate:.1f} %")
         if self.degraded_requests:
             lines.append(f"degraded requests      {self.degraded_requests}")
+        if self.dropped_requests:
+            lines.append(
+                f"dropped requests       {self.dropped_requests} "
+                f"({100.0 * self.drop_rate:.1f} % of offered)"
+            )
+        if self.prefetch_bytes:
+            lines.append(
+                f"prefetch bytes         {self.prefetch_bytes} "
+                f"({self.prefetch_hits} hits, {self.prefetch_wasted_bytes} wasted)"
+            )
         histogram = ", ".join(
             f"{resolution}px: {count}"
             for resolution, count in sorted(self.resolution_histogram.items())
@@ -120,15 +185,48 @@ def build_report(
     store_requests: int,
     cache_stats: CacheStats | None = None,
     degraded_requests: int = 0,
+    dropped_requests: int = 0,
+    prefetch_bytes: int = 0,
+    prefetch_hits: int = 0,
+    prefetch_wasted_bytes: int = 0,
 ) -> SLOReport:
     """Fold completed requests into one :class:`SLOReport`.
 
     ``store_requests`` is the number of GET operations issued against the
     store (a full cache hit issues none), which the bandwidth model prices
-    separately from the bytes moved.
+    separately from the bytes moved.  An empty ``served`` sequence — every
+    arrival dropped, or nothing offered — yields the well-defined empty
+    report (zero requests, ``None`` percentiles) rather than raising.
     """
     if not served:
-        raise ValueError("cannot build a report from zero served requests")
+        # Even with nothing served, prefetch GETs may have moved bytes.
+        transfer = bandwidth.estimate(prefetch_bytes, num_requests=store_requests)
+        return SLOReport(
+            num_requests=0,
+            duration_s=0.0,
+            throughput_rps=0.0,
+            mean_latency_ms=None,
+            p50_latency_ms=None,
+            p95_latency_ms=None,
+            p99_latency_ms=None,
+            mean_queue_wait_ms=None,
+            mean_batch_size=None,
+            accuracy=None,
+            bytes_from_store=0,
+            bytes_from_cache=0,
+            baseline_bytes=0,
+            bytes_saved=0,
+            relative_bytes_saved=0.0,
+            transfer_seconds=transfer.seconds,
+            transfer_dollars=transfer.dollars,
+            cache_hit_rate=cache_stats.hit_rate if cache_stats is not None else None,
+            degraded_requests=degraded_requests,
+            resolution_histogram={},
+            dropped_requests=dropped_requests,
+            prefetch_bytes=prefetch_bytes,
+            prefetch_hits=prefetch_hits,
+            prefetch_wasted_bytes=prefetch_wasted_bytes,
+        )
     ordered = sorted(served, key=lambda r: r.request_id)
     latencies = np.array([r.latency for r in ordered])
     waits = np.array([r.queue_wait for r in ordered])
@@ -137,16 +235,19 @@ def build_report(
     duration = last_completion - first_arrival
 
     labelled = [r for r in ordered if r.label is not None]
+    # None, not NaN: NaN is invalid strict JSON and breaks == round-trips.
     accuracy = (
-        100.0 * sum(r.correct for r in labelled) / len(labelled)
-        if labelled
-        else float("nan")
+        100.0 * sum(r.correct for r in labelled) / len(labelled) if labelled else None
     )
 
     bytes_from_store = sum(r.bytes_from_store for r in ordered)
     bytes_from_cache = sum(r.bytes_from_cache for r in ordered)
     baseline_bytes = sum(r.total_bytes for r in ordered)
-    transfer = bandwidth.estimate(bytes_from_store, num_requests=store_requests)
+    # Prefetched bytes are store traffic too: they ride the same GETs the
+    # bandwidth model prices, even though no request waited on them.
+    transfer = bandwidth.estimate(
+        bytes_from_store + prefetch_bytes, num_requests=store_requests
+    )
 
     histogram: dict[int, int] = {}
     for record in ordered:
@@ -175,4 +276,8 @@ def build_report(
         cache_hit_rate=cache_stats.hit_rate if cache_stats is not None else None,
         degraded_requests=degraded_requests,
         resolution_histogram=histogram,
+        dropped_requests=dropped_requests,
+        prefetch_bytes=prefetch_bytes,
+        prefetch_hits=prefetch_hits,
+        prefetch_wasted_bytes=prefetch_wasted_bytes,
     )

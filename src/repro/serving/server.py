@@ -3,11 +3,13 @@
 :class:`InferenceServer` drives the existing dynamic-resolution pipeline
 under concurrent load on one simulated clock:
 
-1. an arrival pulls the calibrated stage-1 scan prefix through the cache
-   tier (or straight from the store), the resolution policy picks the
-   backbone resolution, and any missing scans are topped up incrementally;
-   the request becomes *ready* after the modeled transfer time
-   (:class:`StorageBandwidthModel`) plus the scale model's compute time;
+1. an arrival is first offered to the :class:`AdmissionPolicy` (drops are
+   tallied and reported, not silently lost); an admitted request pulls the
+   calibrated stage-1 scan prefix through the cache tier (or straight from
+   the store), the resolution policy picks the backbone resolution, and any
+   missing scans are topped up incrementally; the request becomes *ready*
+   after the modeled transfer time (:class:`StorageBandwidthModel`) plus
+   the scale model's compute time;
 2. ready requests queue in the :class:`DynamicBatcher` by resolution and
    flush on size or deadline;
 3. flushed batches run on a bounded worker pool, priced by a
@@ -16,12 +18,23 @@ under concurrent load on one simulated clock:
 4. completions free workers, feed closed-loop clients their next arrival,
    and accumulate :class:`ServedRequest` records for the SLO report.
 
+The loop narrates itself as a stream of frozen
+:class:`~repro.serving.events.ServerEvent` objects (arrival → cache probe →
+admission/drop → batch flush → completion) delivered to registered
+observers; the control plane — the admission policy and the
+:class:`PrefetchPolicy`, which tops up cache prefixes during idle gaps in
+the arrival stream — consumes the same stream.  The default no-op policies
+(:class:`~repro.serving.control.AlwaysAdmit`,
+:class:`~repro.serving.control.NoPrefetch`) reproduce the pre-control-plane
+server byte-for-byte.
+
 Everything is deterministic: the event heap breaks time ties by insertion
-order and all randomness lives in the seeded arrival processes, so two runs
-with the same configuration produce identical :class:`SLOReport` objects.
-Simulated time (transfer + batch latency) is decoupled from the real CPU
-time the numpy models take, which is what lets a laptop-sized model stand
-in for a production backbone under thousands of requests.
+order and all randomness lives in the seeded arrival processes and seeded
+policies, so two runs with the same configuration produce identical
+:class:`SLOReport` objects.  Simulated time (transfer + batch latency) is
+decoupled from the real CPU time the numpy models take, which is what lets
+a laptop-sized model stand in for a production backbone under thousands of
+requests.
 """
 
 from __future__ import annotations
@@ -44,6 +57,24 @@ from repro.storage.store import ImageStore
 from repro.serving.arrivals import ClosedLoopClients, Request
 from repro.serving.batcher import BatchCostModel, DynamicBatcher, LinearBatchCost
 from repro.serving.cache import ScanCache
+from repro.serving.control import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    NoPrefetch,
+    PrefetchAction,
+    PrefetchPolicy,
+)
+from repro.serving.events import (
+    BatchFlushed,
+    CacheProbed,
+    PrefetchIssued,
+    RequestAdmitted,
+    RequestArrived,
+    RequestCompleted,
+    RequestDropped,
+    ServerEvent,
+    ServerObserver,
+)
 from repro.serving.metrics import ServedRequest, SLOReport, build_report
 
 _ARRIVAL = "arrival"
@@ -114,6 +145,9 @@ class InferenceServer:
         cache: ScanCache | None = None,
         batch_cost: BatchCostModel | None = None,
         bandwidth: StorageBandwidthModel | None = None,
+        admission: AdmissionPolicy | None = None,
+        prefetch: PrefetchPolicy | None = None,
+        observers: Sequence[ServerObserver] = (),
     ) -> None:
         self.store = store
         self.backbone = backbone
@@ -123,12 +157,30 @@ class InferenceServer:
         self.cache = cache
         self.batch_cost = batch_cost or LinearBatchCost()
         self.bandwidth = bandwidth or StorageBandwidthModel()
+        self.admission = admission or AlwaysAdmit()
+        self.prefetch = prefetch or NoPrefetch()
         self.resolutions = tuple(sorted(config.resolutions))
         self.scale_resolution = config.scale_resolution or min(self.resolutions)
         self.preprocessor = InferencePreprocessor(crop_ratio=config.crop_ratio)
         self.store_requests = 0
         self._request_fetch_ops = 0
         self.last_served: list[ServedRequest] = []
+        self.last_dropped: list[tuple[Request, str]] = []
+        # Control-plane policies observe the same stream as everyone else.
+        self._observers: list[ServerObserver] = [
+            self.admission,
+            self.prefetch,
+            *observers,
+        ]
+
+    # -- events ------------------------------------------------------------------
+    def subscribe(self, observer: ServerObserver) -> None:
+        """Register an observer for this server's lifecycle event stream."""
+        self._observers.append(observer)
+
+    def _emit(self, event: ServerEvent) -> None:
+        for observer in self._observers:
+            observer.on_event(event)
 
     # -- reads -------------------------------------------------------------------
     @property
@@ -155,8 +207,21 @@ class InferenceServer:
             self._request_fetch_ops += 1
         return image, fetched
 
-    def _admit(self, request: Request, now: float, queue_depth: int) -> _InFlight:
-        """Run the read + resolution-selection stages for one arrival."""
+    def _probe(self, request: Request, requested_scans: int, now: float) -> None:
+        """Narrate the pre-read cache probe for one admitted arrival."""
+        self._emit(
+            CacheProbed(
+                time=now,
+                request=request,
+                requested_scans=requested_scans,
+                resident_scans=(
+                    self.cache.cached_scans(request.key) if self.cache is not None else 0
+                ),
+            )
+        )
+
+    def _ingest(self, request: Request, now: float, queue_depth: int) -> _InFlight:
+        """Run the read + resolution-selection stages for one admitted arrival."""
         stored = self.store.metadata(request.key)
         encoded = stored.encoded
 
@@ -170,6 +235,7 @@ class InferenceServer:
             stage1_scans = self.read_policy.scans_for(
                 encoded, self.scale_resolution, key=request.key
             )
+            self._probe(request, stage1_scans, now)
             image, fetched = self._fetch(request.key, stage1_scans, record=True)
             resolution = self.policy.select(image)
             scale_seconds = self.config.scale_model_seconds
@@ -187,6 +253,7 @@ class InferenceServer:
         else:
             resolution = self.policy.select(np.empty(0))
             scans = self.read_policy.scans_for(encoded, resolution, key=request.key)
+            self._probe(request, scans, now)
             image, fetched = self._fetch(request.key, scans, record=True)
 
         # Whatever the request consumed but did not fetch was cache-resident.
@@ -203,6 +270,32 @@ class InferenceServer:
             total_bytes=encoded.total_bytes,
             ready_time=now + transfer.seconds + scale_seconds,
         )
+
+    # -- prefetch ----------------------------------------------------------------
+    def _execute_prefetch(self, actions: Sequence[PrefetchAction], now: float) -> None:
+        """Apply planned cache top-ups; the fetches happen inside an idle gap,
+        so they cost no request latency, but they are real store GETs — the
+        bytes are reported separately and priced with everything else."""
+        if self.cache is None:
+            return
+        for action in actions:
+            encoded = self.store.metadata(action.key).encoded
+            target = min(action.num_scans, encoded.num_scans)
+            if target <= self.cache.cached_scans(action.key):
+                continue
+            _, read = self.cache.read_through(
+                self.store, action.key, target, record=False
+            )
+            if read.bytes_fetched > 0:
+                self.store_requests += 1
+            self._emit(
+                PrefetchIssued(
+                    time=now,
+                    key=action.key,
+                    num_scans=target,
+                    bytes_fetched=read.bytes_fetched,
+                )
+            )
 
     # -- batch execution ----------------------------------------------------------
     def _execute(self, resolution: int, items: list[_InFlight]) -> np.ndarray:
@@ -241,8 +334,10 @@ class InferenceServer:
             push(request.arrival_time, _ARRIVAL, request)
 
         served: list[ServedRequest] = []
+        dropped: list[tuple[Request, str]] = []
         dispatch_queue: deque[tuple[int, list[_InFlight]]] = deque()
         free_workers = config.num_workers
+        last_arrival_time = 0.0
         # Per-run counters start fresh; cache *contents* deliberately persist,
         # so a reused server serves the next run with a warm cache but still
         # reports that run's own hit rates and degradation tallies.
@@ -251,6 +346,8 @@ class InferenceServer:
             self.cache.reset_stats()
         if hasattr(self.policy, "reset_counters"):
             self.policy.reset_counters()
+        self.admission.reset_counters()
+        self.prefetch.reset_counters()
 
         def start_batch(resolution: int, items: list[_InFlight], now: float) -> None:
             nonlocal free_workers
@@ -261,6 +358,7 @@ class InferenceServer:
             push(now + latency, _DONE, (resolution, items))
 
         def dispatch(resolution: int, items: list[_InFlight], now: float) -> None:
+            self._emit(BatchFlushed(time=now, resolution=resolution, batch_size=len(items)))
             if free_workers > 0:
                 start_batch(resolution, items, now)
             else:
@@ -270,10 +368,50 @@ class InferenceServer:
             now, _, kind, payload = heapq.heappop(heap)
 
             if kind == _ARRIVAL:
+                request = payload
+                # The idle gap since the previous arrival is the prefetcher's
+                # window: planned top-ups land before this arrival is served.
+                idle_s = now - last_arrival_time
+                last_arrival_time = now
+                actions = self.prefetch.plan(now, idle_s, self)
+                if actions:
+                    self._execute_prefetch(actions, now)
                 queue_depth = batcher.queue_depth + sum(
                     len(items) for _, items in dispatch_queue
                 )
-                in_flight = self._admit(payload, now, queue_depth)
+                self._emit(
+                    RequestArrived(time=now, request=request, queue_depth=queue_depth)
+                )
+                decision = self.admission.admit(request, now, queue_depth)
+                if not decision.admitted:
+                    dropped.append((request, decision.reason))
+                    self._emit(
+                        RequestDropped(
+                            time=now,
+                            request=request,
+                            reason=decision.reason,
+                            queue_depth=queue_depth,
+                        )
+                    )
+                    # A dropped closed-loop request still answers its client
+                    # (with a rejection), so the client thinks and retries.
+                    if clients is not None and request.client_id is not None:
+                        follow_up = clients.next_request(request.client_id, now)
+                        if follow_up is not None:
+                            push(follow_up.arrival_time, _ARRIVAL, follow_up)
+                    continue
+                in_flight = self._ingest(request, now, queue_depth)
+                self._emit(
+                    RequestAdmitted(
+                        time=now,
+                        request=request,
+                        resolution=in_flight.resolution,
+                        scans_read=in_flight.scans_read,
+                        bytes_from_store=in_flight.bytes_from_store,
+                        bytes_from_cache=in_flight.bytes_from_cache,
+                        ready_time=in_flight.ready_time,
+                    )
+                )
                 push(in_flight.ready_time, _ENQUEUE, in_flight)
 
             elif kind == _ENQUEUE:
@@ -293,24 +431,24 @@ class InferenceServer:
                 predictions = self._execute(resolution, items)
                 for item, prediction in zip(items, predictions):
                     request = item.request
-                    served.append(
-                        ServedRequest(
-                            request_id=request.request_id,
-                            key=request.key,
-                            arrival_time=request.arrival_time,
-                            ready_time=item.ready_time,
-                            dispatch_time=item.dispatch_time,
-                            completion_time=now,
-                            resolution=resolution,
-                            scans_read=item.scans_read,
-                            bytes_from_store=item.bytes_from_store,
-                            bytes_from_cache=item.bytes_from_cache,
-                            total_bytes=item.total_bytes,
-                            batch_size=len(items),
-                            prediction=int(prediction),
-                            label=self.store.metadata(request.key).label,
-                        )
+                    record = ServedRequest(
+                        request_id=request.request_id,
+                        key=request.key,
+                        arrival_time=request.arrival_time,
+                        ready_time=item.ready_time,
+                        dispatch_time=item.dispatch_time,
+                        completion_time=now,
+                        resolution=resolution,
+                        scans_read=item.scans_read,
+                        bytes_from_store=item.bytes_from_store,
+                        bytes_from_cache=item.bytes_from_cache,
+                        total_bytes=item.total_bytes,
+                        batch_size=len(items),
+                        prediction=int(prediction),
+                        label=self.store.metadata(request.key).label,
                     )
+                    served.append(record)
+                    self._emit(RequestCompleted(time=now, record=record))
                     if clients is not None and request.client_id is not None:
                         follow_up = clients.next_request(request.client_id, now)
                         if follow_up is not None:
@@ -323,10 +461,15 @@ class InferenceServer:
         # Kept for composition layers (the sharded fleet merges the raw
         # records of many servers into one fleet-wide report).
         self.last_served = served
+        self.last_dropped = dropped
         return build_report(
             served,
             bandwidth=self.bandwidth,
             store_requests=self.store_requests,
             cache_stats=self.cache.stats if self.cache is not None else None,
             degraded_requests=getattr(self.policy, "degraded_requests", 0),
+            dropped_requests=len(dropped),
+            prefetch_bytes=getattr(self.prefetch, "prefetched_bytes", 0),
+            prefetch_hits=getattr(self.prefetch, "prefetch_hits", 0),
+            prefetch_wasted_bytes=getattr(self.prefetch, "wasted_bytes", 0),
         )

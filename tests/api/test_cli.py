@@ -52,6 +52,33 @@ class TestSubprocessSmoke:
         assert "cache hit rate" in first.stdout
         assert first.stdout == second.stdout
 
+    def test_serve_admission_reports_drops(self):
+        result = run_cli("serve", str(CONFIG_DIR / "serving_admission.json"))
+        assert result.returncode == 0, result.stderr
+        assert "admission              ewma" in result.stdout
+        assert "dropped requests" in result.stdout
+
+    def test_serve_prefetch_reports_prefetch_bytes(self):
+        result = run_cli("serve", str(CONFIG_DIR / "serving_prefetch.json"))
+        assert result.returncode == 0, result.stderr
+        assert "prefetch               next-scan" in result.stdout
+        assert "prefetch bytes" in result.stdout
+
+    def test_serve_json_emits_the_unified_report_schema(self):
+        result = run_cli("serve", "--json", str(CONFIG_DIR / "serving_admission.json"))
+        assert result.returncode == 0, result.stderr
+        data = json.loads(result.stdout)
+        assert data["kind"] == "slo"
+        assert data["dropped_requests"] > 0
+        assert data["num_requests"] + data["dropped_requests"] == 160
+
+    def test_run_json_emits_the_experiment_schema(self):
+        result = run_cli("run", "--json", str(CONFIG_DIR / "fig2.json"))
+        assert result.returncode == 0, result.stderr
+        data = json.loads(result.stdout)
+        assert data["kind"] == "experiment"
+        assert data["name"] == "fig2"
+
     def test_missing_config_file_fails_cleanly(self):
         result = run_cli("run", "no/such/config.json")
         assert result.returncode == 2

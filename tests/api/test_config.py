@@ -4,6 +4,7 @@ import pytest
 
 from repro.api.config import (
     AdaptiveConfig,
+    AdmissionConfig,
     ArrivalsConfig,
     BackboneConfig,
     BatchCostConfig,
@@ -11,6 +12,7 @@ from repro.api.config import (
     EngineConfig,
     ExperimentConfig,
     PolicyConfig,
+    PrefetchConfig,
     ServingConfig,
     StoreConfig,
 )
@@ -42,6 +44,14 @@ def full_config() -> EngineConfig:
             num_requests=40,
             cache=CacheConfig(capacity_bytes=300_000),
             batch_cost=BatchCostConfig(name="hwsim", machine="4790K"),
+            admission=AdmissionConfig(
+                name="ewma",
+                options={"alpha": 0.3, "depth_threshold": 10.0, "deadline_s": 0.05},
+            ),
+            prefetch=PrefetchConfig(
+                name="next-scan",
+                options={"idle_threshold_s": 0.05, "max_keys_per_gap": 4, "seed": 2},
+            ),
         ),
         experiment=ExperimentConfig(name="fig2", options={"quality": 85}),
         sweep={"serving.cache.capacity_bytes": [100_000, 300_000]},
@@ -163,6 +173,40 @@ class TestSectionValidation:
     def test_batch_cost_rejects_unknown_kernel_source(self):
         with pytest.raises(ValueError, match="kernel_source"):
             BatchCostConfig(kernel_source="magic")
+
+    def test_admission_rejects_out_of_range_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            AdmissionConfig(name="ewma", options={"alpha": 1.5})
+
+    def test_admission_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            AdmissionConfig(name="ewma", options={"deadline_s": 0})
+
+    def test_admission_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="admission.name"):
+            AdmissionConfig(name="")
+
+    def test_prefetch_rejects_non_positive_idle_threshold(self):
+        with pytest.raises(ValueError, match="idle_threshold_s"):
+            PrefetchConfig(name="next-scan", options={"idle_threshold_s": 0})
+
+    def test_prefetch_rejects_non_integer_key_cap(self):
+        with pytest.raises(ValueError, match="max_keys_per_gap"):
+            PrefetchConfig(name="next-scan", options={"max_keys_per_gap": 2.5})
+
+    def test_prefetch_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="prefetch.name"):
+            PrefetchConfig(name="")
+
+    def test_option_checks_are_gated_on_the_builtin_names(self):
+        # Custom registered policies own their option semantics: an option
+        # that happens to be called "alpha" must not be range-checked here.
+        AdmissionConfig(name="my-policy", options={"alpha": 2.0})
+        PrefetchConfig(name="my-prefetcher", options={"max_keys_per_gap": 2.5})
+
+    def test_serving_rejects_unknown_admission_keys(self):
+        with pytest.raises(ValueError, match="AdmissionConfig"):
+            ServingConfig.from_dict({"admission": {"name": "ewma", "optionz": {}}})
 
 
 class TestOverrides:

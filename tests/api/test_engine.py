@@ -5,15 +5,23 @@ import pytest
 from repro.api import Engine, EngineConfig
 from repro.api.config import (
     AdaptiveConfig,
+    AdmissionConfig,
     ArrivalsConfig,
     BackboneConfig,
     CacheConfig,
     ExperimentConfig,
     PolicyConfig,
+    PrefetchConfig,
     ServingConfig,
     StoreConfig,
 )
 from repro.core.policies import DynamicResolutionPolicy, StaticResolutionPolicy
+from repro.serving.control import (
+    AlwaysAdmit,
+    EwmaAdmissionController,
+    NextScanPrefetcher,
+    NoPrefetch,
+)
 from repro.serving.policies import LoadAdaptiveResolutionPolicy
 
 
@@ -99,6 +107,52 @@ class TestBuilders:
         with pytest.raises(ValueError, match="serving"):
             engine.serve()
 
+    def test_absent_control_sections_build_the_no_op_policies(self):
+        engine = Engine(serving_config())
+        assert isinstance(engine.build_admission(), AlwaysAdmit)
+        assert isinstance(engine.build_prefetch(), NoPrefetch)
+        server = engine.build_server()
+        assert isinstance(server.admission, AlwaysAdmit)
+        assert isinstance(server.prefetch, NoPrefetch)
+
+    def test_admission_section_builds_the_named_policy_with_options(self):
+        engine = Engine(
+            serving_config(
+                admission=AdmissionConfig(
+                    name="ewma",
+                    options={"alpha": 0.4, "depth_threshold": 7.0, "deadline_s": 0.03},
+                )
+            )
+        )
+        policy = engine.build_admission()
+        assert isinstance(policy, EwmaAdmissionController)
+        assert policy.alpha == 0.4
+        assert policy.depth_threshold == 7.0
+        assert policy.deadline_s == 0.03
+        assert isinstance(engine.build_server().admission, EwmaAdmissionController)
+
+    def test_prefetch_section_builds_the_named_policy_with_options(self):
+        engine = Engine(
+            serving_config(
+                prefetch=PrefetchConfig(
+                    name="next-scan",
+                    options={"idle_threshold_s": 0.02, "max_keys_per_gap": 2, "seed": 9},
+                )
+            )
+        )
+        policy = engine.build_prefetch()
+        assert isinstance(policy, NextScanPrefetcher)
+        assert policy.idle_threshold_s == 0.02
+        assert policy.max_keys_per_gap == 2
+        assert policy.seed == 9
+
+    def test_unknown_control_plane_names_fail_with_known_names(self):
+        engine = Engine(
+            serving_config(admission=AdmissionConfig(name="no-such-policy"))
+        )
+        with pytest.raises(KeyError, match="always-admit"):
+            engine.build_admission()
+
 
 class TestServe:
     def test_identical_configs_produce_identical_reports(self):
@@ -133,6 +187,31 @@ class TestServe:
         )
         report = Engine(config).serve()
         assert report.num_requests == 12
+
+    def test_explicit_no_op_control_sections_change_nothing(self):
+        plain = Engine(serving_config()).serve()
+        explicit = Engine(
+            serving_config(
+                admission=AdmissionConfig(name="always-admit"),
+                prefetch=PrefetchConfig(name="none"),
+            )
+        ).serve()
+        assert explicit == plain
+        assert explicit.format() == plain.format()
+
+    def test_ewma_admission_config_drops_under_saturation(self):
+        config = serving_config(
+            arrivals=ArrivalsConfig(
+                name="poisson", options={"rate_rps": 4000.0, "seed": 5, "zipf_alpha": 1.0}
+            ),
+            num_workers=1,
+            admission=AdmissionConfig(
+                name="ewma", options={"alpha": 0.5, "depth_threshold": 3.0}
+            ),
+        )
+        report = Engine(config).serve()
+        assert report.dropped_requests > 0
+        assert report.num_requests + report.dropped_requests == 24
 
     def test_serve_accepts_an_explicit_closed_loop_population(self):
         config = serving_config(
@@ -219,6 +298,32 @@ class TestSweep:
             for p in points
         ]
         assert combos == [(2, 1), (2, 2), (4, 1), (4, 2)]
+
+    def test_sweep_order_is_independent_of_dict_insertion_order(self):
+        """Grid points come out in sorted dotted-path order, whatever order
+        the grid dict was built in (satellite regression: CLI --param flags
+        and config sections can list dimensions in any order)."""
+        engine = Engine(serving_config())
+        forward = {
+            "serving.max_batch_size": [2, 4],
+            "serving.num_workers": [1, 2],
+        }
+        backward = {
+            "serving.num_workers": [1, 2],
+            "serving.max_batch_size": [2, 4],
+        }
+        assert list(forward) != list(backward)  # genuinely different insertion
+        first = engine.sweep(forward)
+        second = engine.sweep(backward)
+        assert [p.overrides for p in first] == [p.overrides for p in second]
+        assert [p.report for p in first] == [p.report for p in second]
+        # And that order is the sorted-path cross product.
+        assert [tuple(sorted(p.overrides.items())) for p in first] == [
+            (("serving.max_batch_size", 2), ("serving.num_workers", 1)),
+            (("serving.max_batch_size", 2), ("serving.num_workers", 2)),
+            (("serving.max_batch_size", 4), ("serving.num_workers", 1)),
+            (("serving.max_batch_size", 4), ("serving.num_workers", 2)),
+        ]
 
     def test_empty_grid_is_rejected(self):
         with pytest.raises(ValueError, match="sweep"):

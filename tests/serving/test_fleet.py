@@ -12,6 +12,7 @@ import pytest
 
 from repro.api import Engine, EngineConfig
 from repro.api.config import (
+    AdmissionConfig,
     ArrivalsConfig,
     BackboneConfig,
     CacheConfig,
@@ -221,3 +222,59 @@ class TestFleetConfigValidation:
         config = fleet_config(overrides={0: {"no_such_field": 1}})
         with pytest.raises(ValueError, match="no_such_field"):
             Engine(config).build_fleet()
+
+
+class TestFleetControlPlane:
+    def saturated_config(self, **serving_patch):
+        config = fleet_config(num_shards=3)
+        return replace(
+            config,
+            serving=replace(
+                config.serving,
+                arrivals=ArrivalsConfig(
+                    name="poisson",
+                    options={"rate_rps": 6000.0, "seed": 5, "zipf_alpha": 1.0},
+                ),
+                num_workers=1,
+                **serving_patch,
+            ),
+        )
+
+    def test_fleet_aggregates_drop_counters_across_shards(self):
+        config = self.saturated_config(
+            admission=AdmissionConfig(
+                name="ewma", options={"alpha": 0.5, "depth_threshold": 2.0}
+            )
+        )
+        report = Engine(config).serve()
+        assert report.dropped_requests > 0
+        assert report.dropped_requests == sum(
+            shard.report.dropped_requests
+            for shard in report.shards
+            if shard.report is not None
+        )
+        served = sum(shard.num_requests for shard in report.shards)
+        assert served + report.dropped_requests == NUM_REQUESTS
+        assert report.fleet.num_requests == served
+        assert 0.0 < report.drop_rate < 1.0
+
+    def test_each_shard_gets_its_own_admission_policy(self):
+        config = self.saturated_config(
+            admission=AdmissionConfig(
+                name="ewma", options={"alpha": 0.5, "depth_threshold": 2.0}
+            )
+        )
+        fleet = Engine(config).build_fleet()
+        policies = [server.admission for server in fleet.servers]
+        assert len({id(policy) for policy in policies}) == len(policies)
+
+    def test_per_shard_admission_override(self):
+        config = fleet_config(
+            num_shards=2,
+            overrides={
+                0: {"admission": {"name": "ewma", "options": {"depth_threshold": 5.0}}}
+            },
+        )
+        fleet = Engine(config).build_fleet()
+        assert type(fleet.servers[0].admission).__name__ == "EwmaAdmissionController"
+        assert type(fleet.servers[1].admission).__name__ == "AlwaysAdmit"

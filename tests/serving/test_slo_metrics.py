@@ -50,9 +50,35 @@ def record(
 
 
 class TestEdgeCases:
-    def test_empty_trace_raises(self):
-        with pytest.raises(ValueError, match="zero served requests"):
-            build_report([], bandwidth=BANDWIDTH, store_requests=0)
+    def test_empty_trace_yields_a_well_defined_empty_report(self):
+        # Regression: this used to raise, which made "every arrival was
+        # dropped" unreportable once admission control existed.
+        report = build_report([], bandwidth=BANDWIDTH, store_requests=0)
+        assert report.num_requests == 0
+        assert report.duration_s == 0.0
+        assert report.throughput_rps == 0.0
+        assert report.mean_latency_ms is None
+        assert report.p50_latency_ms is None
+        assert report.p95_latency_ms is None
+        assert report.p99_latency_ms is None
+        assert report.mean_queue_wait_ms is None
+        assert report.mean_batch_size is None
+        assert report.accuracy is None
+        assert report.bytes_from_store == 0
+        assert report.baseline_bytes == 0
+        assert report.resolution_histogram == {}
+        # The empty report still formats and round-trips deterministically.
+        assert "requests served        0" in report.format()
+        assert build_report([], bandwidth=BANDWIDTH, store_requests=0) == report
+
+    def test_empty_trace_keeps_drop_accounting(self):
+        report = build_report(
+            [], bandwidth=BANDWIDTH, store_requests=0, dropped_requests=7
+        )
+        assert report.dropped_requests == 7
+        assert report.offered_requests == 7
+        assert report.drop_rate == 1.0
+        assert "requests dropped       7" in report.format()
 
     def test_single_request_trace(self):
         report = build_report([record(latency=0.02)], bandwidth=BANDWIDTH, store_requests=1)
@@ -77,11 +103,17 @@ class TestEdgeCases:
         assert report.duration_s == 0.0
         assert math.isinf(report.throughput_rps)
 
-    def test_unlabelled_requests_make_accuracy_nan(self):
+    def test_unlabelled_requests_make_accuracy_none(self):
+        # None rather than NaN: NaN is invalid strict JSON and never
+        # compares equal, which would break the Report round-trip contract.
         report = build_report(
             [record(label=None)], bandwidth=BANDWIDTH, store_requests=1
         )
-        assert math.isnan(report.accuracy)
+        assert report.accuracy is None
+        assert "accuracy               n/a" in report.format()
+        from repro.api.reports import Report
+
+        assert Report.from_json(report.to_json()) == report
 
 
 class TestPercentiles:
@@ -128,6 +160,17 @@ class TestAggregation:
         served = [record(bytes_from_store=50_000)]
         report = build_report(served, bandwidth=BANDWIDTH, store_requests=3)
         estimate = BANDWIDTH.estimate(50_000, num_requests=3)
+        assert report.transfer_seconds == estimate.seconds
+        assert report.transfer_dollars == estimate.dollars
+
+    def test_transfer_pricing_includes_prefetch_traffic(self):
+        # Prefetched bytes ride real store GETs, so they are priced with
+        # the demand bytes even though no request waited on them.
+        served = [record(bytes_from_store=50_000)]
+        report = build_report(
+            served, bandwidth=BANDWIDTH, store_requests=4, prefetch_bytes=10_000
+        )
+        estimate = BANDWIDTH.estimate(60_000, num_requests=4)
         assert report.transfer_seconds == estimate.seconds
         assert report.transfer_dollars == estimate.dollars
 
