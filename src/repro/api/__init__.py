@@ -35,10 +35,12 @@ _CONFIG_EXPORTS = (
     "BackboneConfig",
     "BatchCostConfig",
     "CacheConfig",
+    "DiurnalConfig",
     "EngineConfig",
     "ExperimentConfig",
     "FleetConfig",
     "PolicyConfig",
+    "PopularityConfig",
     "PrefetchConfig",
     "ServingConfig",
     "StoreConfig",

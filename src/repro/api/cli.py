@@ -12,6 +12,16 @@ Usage (``python -m repro ...``):
 * ``sweep <config.json> [--param path=v1,v2,...]`` — serve every point of
   the override grid (from the config's ``sweep`` section and/or ``--param``
   flags) and print one summary row per point;
+* ``trace record <config.json> --out t.jsonl`` — run the configured
+  scenario with a :class:`~repro.serving.traces.TraceRecorder` attached and
+  export the arrival stream to the trace schema;
+* ``trace replay <config.json> --trace t.jsonl [--speedup F]`` — serve the
+  config with its arrivals replaced by empirical-trace replay;
+* ``trace fit --trace t.jsonl | --dataset NAME`` — maximum-likelihood Zipf
+  exponent of a trace's keys or of a bundled CDN popularity dataset;
+* ``docs [--check]`` — regenerate ``docs/reference.md`` from the
+  registries (``--check`` fails when the committed file is stale); always
+  fails if any registered component is missing a docstring;
 * ``list-components`` — print every registry and its registered names.
 
 All output is deterministic under the config's seeds, so runs are diffable.
@@ -57,19 +67,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    engine = Engine(load_config(args.config))
-    report = engine.serve()
-    if args.json:
-        print(report.to_json())
-        return 0
+def _print_serve_report(engine: Engine, report, config_path: str) -> None:
     config = engine.config
-    print(f"config                 {args.config}")
+    print(f"config                 {config_path}")
     print(f"policy                 {config.policy.name}")
     serving = config.serving
     arrivals = serving.arrivals if serving else None
     if arrivals is not None:
         print(f"traffic                {arrivals.name}")
+        if arrivals.name == "replay":
+            print(f"trace                  {arrivals.trace_path} (x{arrivals.speedup:g})")
+        if arrivals.diurnal is not None:
+            print(f"diurnal period         {arrivals.diurnal.period_s:g} s")
+        if arrivals.popularity is not None:
+            print(f"popularity             {arrivals.popularity.name}")
     if serving is not None and serving.admission is not None:
         print(f"admission              {serving.admission.name}")
     if serving is not None and serving.prefetch is not None:
@@ -78,6 +89,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if fleet is not None:
         print(f"router                 {fleet.router} ({fleet.virtual_nodes} vnodes)")
     print(report.format())
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    engine = Engine(load_config(args.config))
+    report = engine.serve()
+    if args.json:
+        print(report.to_json())
+        return 0
+    _print_serve_report(engine, report, args.config)
     return 0
 
 
@@ -106,6 +126,130 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             float_format="{:.1f}",
         )
     )
+    return 0
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.serving.arrivals import ClosedLoopClients
+    from repro.serving.traces import TraceRecorder
+
+    engine = Engine(load_config(args.config))
+    serving = engine.config.serving
+    if serving is None:
+        print("error: this config has no 'serving' section to record", file=sys.stderr)
+        return 2
+    if serving.fleet is not None:
+        print(
+            "error: trace record attaches to a single server; drop the "
+            "'serving.fleet' section (the recorded trace can still be "
+            "replayed through a fleet)",
+            file=sys.stderr,
+        )
+        return 2
+    recorder = TraceRecorder()
+    server = engine.build_server()
+    server.subscribe(recorder)
+    traffic = engine.build_trace()
+    if isinstance(traffic, ClosedLoopClients):
+        server.run_closed_loop(traffic, engine.build_store().keys())
+    else:
+        server.run(traffic)
+    count = recorder.save(args.out)
+    records = recorder.records
+    span = records[-1].timestamp - records[0].timestamp if count > 1 else 0.0
+    print(f"recorded               {count} arrivals")
+    print(f"span                   {span:.4f} s")
+    print(f"trace                  {args.out}")
+    return 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.api.config import EngineConfig
+
+    config = load_config(args.config)
+    if config.serving is None:
+        print("error: this config has no 'serving' section to serve", file=sys.stderr)
+        return 2
+    data = config.to_dict()
+    data["serving"]["arrivals"] = {
+        "name": "replay",
+        "trace_path": args.trace,
+        "speedup": args.speedup,
+    }
+    if args.loop:
+        data["serving"]["arrivals"]["options"] = {"mode": "loop"}
+    engine = Engine(EngineConfig.from_dict(data))
+    # Build the replay process once and hand its trace to serve() directly:
+    # the record count defaults num_requests, and memoized load_records
+    # means the file is parsed a single time.
+    process = engine.build_arrivals()
+    count = args.num_requests or len(process.load_records())
+    report = engine.serve(process.trace(engine.build_store().keys(), count))
+    if args.json:
+        print(report.to_json())
+        return 0
+    _print_serve_report(engine, report, args.config)
+    return 0
+
+
+def cmd_trace_fit(args: argparse.Namespace) -> int:
+    from repro.serving.popularity import (
+        CDN_POPULARITY_CDFS,
+        fit_zipf_to_dataset,
+        fit_zipf_to_keys,
+    )
+    from repro.serving.traces import load_trace
+
+    if (args.trace is None) == (args.dataset is None):
+        print("error: pass exactly one of --trace or --dataset", file=sys.stderr)
+        return 2
+    if args.dataset is not None:
+        alpha = fit_zipf_to_dataset(args.dataset)
+        spec = CDN_POPULARITY_CDFS[args.dataset]
+        print(f"dataset                {args.dataset}")
+        print(f"source                 {spec['description']}")
+    else:
+        records = load_trace(args.trace)
+        alpha = fit_zipf_to_keys([record.key for record in records])
+        print(f"trace                  {args.trace}")
+        print(f"records                {len(records)}")
+    print(f"fitted zipf alpha      {alpha:.4f}")
+    return 0
+
+
+def cmd_docs(args: argparse.Namespace) -> int:
+    from repro.api.docs import generate_reference, lint_docstrings
+
+    problems = lint_docstrings()
+    if problems:
+        print(
+            f"error: {len(problems)} missing docstring(s) — the generated "
+            "reference would have empty entries:",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    text = generate_reference()
+    if args.check:
+        try:
+            with open(args.output, "r", encoding="utf-8") as handle:
+                committed = handle.read()
+        except FileNotFoundError:
+            print(f"error: {args.output} does not exist; run: python -m repro docs",
+                  file=sys.stderr)
+            return 1
+        if committed != text:
+            print(
+                f"error: {args.output} is stale; regenerate with: python -m repro docs",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.output} is up to date")
+        return 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -156,6 +300,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="add/override one sweep dimension (dotted config path)",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    trace = commands.add_parser(
+        "trace", help="record, replay, or fit empirical arrival traces"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_commands.add_parser(
+        "record", help="run a config and export its arrival stream to a trace file"
+    )
+    record.add_argument("config", help="path to an EngineConfig JSON file")
+    record.add_argument(
+        "--out", required=True, help="trace file to write (.jsonl/.ndjson or .csv)"
+    )
+    record.set_defaults(func=cmd_trace_record)
+
+    replay = trace_commands.add_parser(
+        "replay", help="serve a config with its arrivals replaced by trace replay"
+    )
+    replay.add_argument("config", help="path to an EngineConfig JSON file")
+    replay.add_argument(
+        "--trace", required=True, help="trace file to replay (.jsonl/.ndjson or .csv)"
+    )
+    replay.add_argument(
+        "--speedup",
+        type=float,
+        default=1.0,
+        help="time-warp factor: divide every timestamp by this (default 1.0)",
+    )
+    replay.add_argument(
+        "--num-requests",
+        type=int,
+        default=None,
+        help="how many requests to serve (default: the whole trace once)",
+    )
+    replay.add_argument(
+        "--loop",
+        action="store_true",
+        help="wrap around past the end of the trace instead of truncating",
+    )
+    replay.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report through the unified Report JSON schema",
+    )
+    replay.set_defaults(func=cmd_trace_replay)
+
+    fit = trace_commands.add_parser(
+        "fit", help="fit a Zipf popularity exponent by maximum likelihood"
+    )
+    fit.add_argument("--trace", default=None, help="fit the keys of this trace file")
+    fit.add_argument(
+        "--dataset",
+        default=None,
+        help="fit a bundled CDN popularity dataset (see docs/reference.md)",
+    )
+    fit.set_defaults(func=cmd_trace_fit)
+
+    docs = commands.add_parser(
+        "docs", help="regenerate docs/reference.md from the component registries"
+    )
+    docs.add_argument(
+        "--output",
+        default="docs/reference.md",
+        help="path of the generated reference (default docs/reference.md)",
+    )
+    docs.add_argument(
+        "--check",
+        action="store_true",
+        help="fail instead of writing when the committed file is stale",
+    )
+    docs.set_defaults(func=cmd_docs)
 
     list_components = commands.add_parser(
         "list-components", help="print every registry and its names"

@@ -19,3 +19,5 @@ from repro.serving import cache as _cache  # noqa: F401
 from repro.serving import control as _control  # noqa: F401
 from repro.serving import fleet as _fleet  # noqa: F401
 from repro.serving import policies as _serving_policies  # noqa: F401
+from repro.serving import popularity as _popularity  # noqa: F401
+from repro.serving import workload as _workload  # noqa: F401

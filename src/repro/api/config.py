@@ -193,25 +193,145 @@ class PolicyConfig(_DictMixin):
 
 
 @dataclass(frozen=True)
-class ArrivalsConfig(_DictMixin):
-    """Traffic shape by registry name plus process keyword arguments."""
+class DiurnalConfig(_DictMixin):
+    """Diurnal modulation wrapped around the base arrival process.
 
-    name: str = "poisson"
+    The base process's trace is time-warped so its instantaneous rate
+    follows ``(1 + amplitude·sin) × envelope`` over a ``period_s`` cycle
+    (see :class:`~repro.serving.workload.DiurnalArrivals`).  ``envelope``
+    is a list of positive piecewise multipliers over equal segments of the
+    period (empty = flat).
+    """
+
+    period_s: float = 86_400.0
+    amplitude: float = 0.5
+    phase: float = 0.0
+    envelope: tuple = ()
+
+    def __post_init__(self) -> None:
+        _require(self.period_s > 0, "diurnal.period_s must be positive")
+        _require(0.0 <= self.amplitude < 1.0, "diurnal.amplitude must be in [0, 1)")
+        _require(
+            all(
+                isinstance(value, (int, float)) and value > 0
+                for value in self.envelope
+            ),
+            "diurnal.envelope multipliers must be positive numbers",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiurnalConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        if "envelope" in data:
+            data["envelope"] = tuple(data["envelope"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PopularityConfig(_DictMixin):
+    """Key-popularity model by registry name plus model keyword arguments.
+
+    Absent, processes fall back to their bare ``zipf_alpha`` option; when
+    present, the built :class:`~repro.serving.popularity.PopularityModel`
+    drives key sampling instead (e.g. ``{"name": "cdn-calibrated",
+    "options": {"dataset": "web-proxy-breslau99"}}``).
+    """
+
+    name: str = "zipf"
     options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        _require(bool(self.name), "popularity.name must be non-empty")
+        _require(isinstance(self.options, dict), "popularity.options must be a mapping")
+        if self.name in ("zipf", "zipf-mandelbrot"):
+            for option in ("alpha", "shift"):
+                value = self.options.get(option)
+                _require(
+                    value is None or (isinstance(value, (int, float)) and value >= 0),
+                    f"popularity.options.{option} must be a non-negative number",
+                )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PopularityConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ArrivalsConfig(_DictMixin):
+    """Traffic shape by registry name plus process keyword arguments.
+
+    Workload-realism knobs ride alongside the name/options pair:
+
+    * ``trace_path``/``speedup`` configure the ``replay`` process — the
+      path of an empirical trace (JSONL/CSV) and its time-warp factor;
+    * ``diurnal`` wraps the base process in a day/night rate envelope;
+    * ``popularity`` selects a calibrated key-popularity model for the
+      synthetic processes (replay traces carry their own keys).
+    """
+
+    name: str = "poisson"
+    options: dict = field(default_factory=dict)
+    trace_path: str | None = None
+    speedup: float = 1.0
+    diurnal: DiurnalConfig | None = None
+    popularity: PopularityConfig | None = None
+
+    def __post_init__(self) -> None:
         _require(bool(self.name), "arrivals.name must be non-empty")
+        _require(
+            self.name != "diurnal",
+            "diurnal modulation wraps a base process: set arrivals.name to the "
+            "base (e.g. 'poisson') and add an arrivals.diurnal section",
+        )
         for option in ("rate_rps", "on_rate_rps", "num_clients"):
             value = self.options.get(option)
             _require(
                 value is None or (isinstance(value, (int, float)) and value > 0),
                 f"arrivals.options.{option} must be a positive number",
             )
+        _require(self.speedup > 0, "arrivals.speedup must be positive")
+        if self.name == "replay":
+            _require(
+                bool(self.trace_path),
+                "arrivals.trace_path is required for the 'replay' process",
+            )
+            _require(
+                self.popularity is None,
+                "arrivals.popularity does not apply to 'replay' (the trace "
+                "already carries its keys)",
+            )
+            duplicated = {"trace_path", "speedup"} & set(self.options)
+            _require(
+                not duplicated,
+                f"arrivals.options duplicates dedicated field(s): "
+                f"{', '.join(sorted(duplicated))}; set them on the arrivals "
+                "section itself",
+            )
+        else:
+            _require(
+                self.trace_path is None,
+                "arrivals.trace_path only applies to the 'replay' process",
+            )
+            _require(
+                self.speedup == 1.0,
+                "arrivals.speedup only applies to the 'replay' process",
+            )
+        if self.diurnal is not None:
+            _require(
+                self.name != "closed-loop",
+                "arrivals.diurnal needs an open-loop base process; closed-loop "
+                "clients pace themselves off completions",
+            )
 
     @classmethod
     def from_dict(cls, data: dict) -> "ArrivalsConfig":
         data = dict(data)
         _reject_unknown_keys(cls, data)
+        data["diurnal"] = _pop_section(data, "diurnal", DiurnalConfig)
+        data["popularity"] = _pop_section(data, "popularity", PopularityConfig)
         return cls(**data)
 
 

@@ -37,6 +37,7 @@ from repro.api.registry import (
     CACHES,
     EXPERIMENTS,
     MACHINES,
+    POPULARITY,
     PREFETCH_POLICIES,
     PROFILES,
     RESOLUTION_POLICIES,
@@ -53,7 +54,9 @@ from repro.serving.cache import ScanCache
 from repro.serving.control import AdmissionPolicy, PrefetchPolicy
 from repro.serving.fleet import FleetReport, ShardedFleet
 from repro.serving.metrics import SLOReport
+from repro.serving.popularity import PopularityModel
 from repro.serving.server import InferenceServer, ServerConfig
+from repro.serving.workload import DiurnalArrivals
 from repro.storage.policy import ScanReadPolicy
 from repro.storage.store import ImageStore
 
@@ -249,10 +252,52 @@ class Engine:
         )
         return ShardedFleet(servers, router)
 
+    def build_popularity(self, serving=None) -> PopularityModel | None:
+        """The key-popularity model of ``serving.arrivals.popularity``, if any."""
+        serving = serving if serving is not None else self._serving_section()
+        section = serving.arrivals.popularity
+        if section is None:
+            return None
+        return POPULARITY.build(section.name, **section.options)
+
+    def build_arrivals(self, serving=None):
+        """The configured arrival process: base, replay, and diurnal wrapping.
+
+        ``replay`` gets the section's ``trace_path``/``speedup`` knobs; other
+        processes get the built popularity model (when configured); a
+        ``diurnal`` section wraps whatever was built in a
+        :class:`~repro.serving.workload.DiurnalArrivals` envelope.
+        """
+        serving = serving if serving is not None else self._serving_section()
+        section = serving.arrivals
+        options = dict(section.options)
+        if section.name == "replay":
+            process = ARRIVALS.build(
+                "replay",
+                trace_path=section.trace_path,
+                speedup=section.speedup,
+                **options,
+            )
+        else:
+            popularity = self.build_popularity(serving)
+            if popularity is not None:
+                options["popularity"] = popularity
+            process = ARRIVALS.build(section.name, **options)
+        if section.diurnal is not None:
+            diurnal = section.diurnal
+            process = DiurnalArrivals(
+                base=process,
+                period_s=diurnal.period_s,
+                amplitude=diurnal.amplitude,
+                phase=diurnal.phase,
+                envelope=diurnal.envelope,
+            )
+        return process
+
     def build_trace(self) -> list[Request] | ClosedLoopClients:
         """The configured traffic: a pre-generated trace, or closed-loop clients."""
         serving = self._serving_section()
-        process = ARRIVALS.build(serving.arrivals.name, **serving.arrivals.options)
+        process = self.build_arrivals(serving)
         if isinstance(process, ClosedLoopClients):
             return process
         return process.trace(self.build_store().keys(), serving.num_requests)

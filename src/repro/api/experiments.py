@@ -212,7 +212,10 @@ def fig6(engine: Engine, options: dict) -> ExperimentResult:
 
 
 def _read_savings(name: str, dataset: str, default_model: str):
+    """Build a per-resolution read-savings experiment (paper Tables 3/4)."""
+
     def run(engine: Engine, options: dict) -> ExperimentResult:
+        """Read savings of calibrated scan reads vs default-quality reads."""
         rows = build_read_savings_table(
             dataset,
             options.get("model", default_model),
@@ -245,7 +248,10 @@ EXPERIMENTS.register("table4", _read_savings("table4", "cars", "resnet18"))
 
 
 def _accuracy_flops(name: str, dataset: str):
+    """Build an accuracy-vs-FLOPs frontier experiment (paper Figs 8/9)."""
+
     def run(engine: Engine, options: dict) -> ExperimentResult:
+        """Static-resolution frontier vs the dynamic scale-model policy."""
         points = build_fig8_fig9_points(
             dataset,
             options.get("model", "resnet18"),

@@ -121,6 +121,9 @@ ADMISSION_POLICIES = Registry("admission policy")
 #: Prefetch policies of the serving control plane (``repro.serving.control``).
 PREFETCH_POLICIES = Registry("prefetch policy")
 
+#: Key-popularity models for arrival processes (``repro.serving.popularity``).
+POPULARITY = Registry("popularity model")
+
 #: CPU machine-model presets (``repro.hwsim.machine``); entries are instances.
 MACHINES = Registry("machine model")
 
@@ -143,6 +146,7 @@ def all_registries() -> dict[str, Registry]:
         "routers": ROUTERS,
         "admission-policies": ADMISSION_POLICIES,
         "prefetch-policies": PREFETCH_POLICIES,
+        "popularity": POPULARITY,
         "machines": MACHINES,
         "profiles": PROFILES,
         "experiments": EXPERIMENTS,

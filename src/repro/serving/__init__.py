@@ -7,6 +7,15 @@ composes every existing layer under one simulated clock:
 * :mod:`repro.serving.arrivals` — seeded Poisson, bursty ON/OFF, and
   closed-loop request processes over :class:`~repro.storage.store.ImageStore`
   keys;
+* :mod:`repro.serving.workload` — workload realism: empirical-trace replay
+  (time-warp, loop/truncate) and diurnal sinusoid-plus-envelope rate
+  modulation of any open-loop base process;
+* :mod:`repro.serving.traces` — the on-disk trace schema (JSONL/CSV), its
+  validating loader/saver, and the :class:`TraceRecorder` observer that
+  exports any run back to the schema (record → replay round-trips);
+* :mod:`repro.serving.popularity` — pluggable key-popularity models
+  (Zipf, Zipf–Mandelbrot) with an MLE :func:`fit_zipf` calibrated against
+  bundled published CDN object-popularity CDFs;
 * :mod:`repro.serving.cache` — a scan-granular LRU cache tier in front of
   the store (a hit on a shorter prefix pays only the incremental scans);
 * :mod:`repro.serving.batcher` — dynamic size-or-deadline batching by
@@ -79,7 +88,23 @@ from repro.serving.fleet import (
 )
 from repro.serving.metrics import ServedRequest, SLOReport, build_report
 from repro.serving.policies import LoadAdaptiveResolutionPolicy
+from repro.serving.popularity import (
+    CalibratedPopularity,
+    PopularityModel,
+    UniformPopularity,
+    ZipfMandelbrotPopularity,
+    ZipfPopularity,
+    fit_zipf,
+)
 from repro.serving.server import InferenceServer, ServerConfig
+from repro.serving.traces import (
+    TraceFormatError,
+    TraceRecord,
+    TraceRecorder,
+    load_trace,
+    save_trace,
+)
+from repro.serving.workload import DiurnalArrivals, TraceReplayArrivals
 
 __all__ = [
     "Request",
@@ -87,6 +112,19 @@ __all__ = [
     "PoissonArrivals",
     "OnOffArrivals",
     "ClosedLoopClients",
+    "TraceReplayArrivals",
+    "DiurnalArrivals",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceFormatError",
+    "load_trace",
+    "save_trace",
+    "PopularityModel",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "ZipfMandelbrotPopularity",
+    "CalibratedPopularity",
+    "fit_zipf",
     "ScanCache",
     "CacheStats",
     "CacheRead",

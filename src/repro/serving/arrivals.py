@@ -13,19 +13,28 @@ Three traffic shapes cover the serving evaluation:
 
 All processes are seeded and fully deterministic: the same seed produces
 byte-identical traces, which is what makes serving runs reproducible.
-Keys are drawn from the store's key set either uniformly or with a Zipf
+Keys are drawn from the store's key set either uniformly, with a bare Zipf
 popularity skew (``zipf_alpha > 0`` makes low-index keys hot, which is what
-gives a cache tier something to work with).
+gives a cache tier something to work with), or through a pluggable
+:class:`~repro.serving.popularity.PopularityModel` (``popularity=...``),
+which is how calibrated CDN-like skews plug in without new process code.
+
+Empirical-trace replay and diurnal rate modulation live in
+:mod:`repro.serving.workload`; the on-disk trace schema and the run
+recorder live in :mod:`repro.serving.traces`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.api.registry import ARRIVALS
+
+if TYPE_CHECKING:  # popularity imports the registry, not this module; no cycle
+    from repro.serving.popularity import PopularityModel
 
 
 @dataclass(frozen=True)
@@ -55,8 +64,15 @@ def sample_keys(
     keys: Sequence[str],
     count: int,
     zipf_alpha: float = 0.0,
+    popularity: "PopularityModel | None" = None,
 ) -> list[str]:
-    """Draw ``count`` keys with replacement, optionally Zipf-skewed by rank."""
+    """Draw ``count`` keys with replacement, skewed by rank popularity.
+
+    A ``popularity`` model takes precedence over the bare ``zipf_alpha``
+    shorthand (which is kept for backward compatibility and quick configs).
+    """
+    if popularity is not None:
+        return popularity.sample(rng, keys, count)
     probabilities = _key_probabilities(len(keys), zipf_alpha)
     chosen = rng.choice(len(keys), size=count, p=probabilities)
     return [keys[int(index)] for index in chosen]
@@ -77,6 +93,7 @@ class PoissonArrivals(ArrivalProcess):
     rate_rps: float
     seed: int = 0
     zipf_alpha: float = 0.0
+    popularity: "PopularityModel | None" = None
 
     def __post_init__(self) -> None:
         if self.rate_rps <= 0:
@@ -86,7 +103,7 @@ class PoissonArrivals(ArrivalProcess):
         rng = np.random.default_rng(self.seed)
         gaps = rng.exponential(1.0 / self.rate_rps, size=num_requests)
         times = np.cumsum(gaps)
-        chosen = sample_keys(rng, keys, num_requests, self.zipf_alpha)
+        chosen = sample_keys(rng, keys, num_requests, self.zipf_alpha, self.popularity)
         return [
             Request(request_id=i, key=chosen[i], arrival_time=float(times[i]))
             for i in range(num_requests)
@@ -108,6 +125,7 @@ class OnOffArrivals(ArrivalProcess):
     mean_off_s: float = 0.3
     seed: int = 0
     zipf_alpha: float = 0.0
+    popularity: "PopularityModel | None" = None
 
     def __post_init__(self) -> None:
         if self.on_rate_rps <= 0:
@@ -135,7 +153,7 @@ class OnOffArrivals(ArrivalProcess):
                     times.append(cursor)
             clock = phase_end
             on_phase = not on_phase
-        chosen = sample_keys(rng, keys, num_requests, self.zipf_alpha)
+        chosen = sample_keys(rng, keys, num_requests, self.zipf_alpha, self.popularity)
         return [
             Request(request_id=i, key=chosen[i], arrival_time=times[i])
             for i in range(num_requests)
@@ -160,6 +178,7 @@ class ClosedLoopClients:
         requests_per_client: int = 10,
         seed: int = 0,
         zipf_alpha: float = 0.0,
+        popularity: "PopularityModel | None" = None,
     ) -> None:
         if num_clients <= 0:
             raise ValueError("need at least one client")
@@ -171,6 +190,7 @@ class ClosedLoopClients:
         self.think_time_s = think_time_s
         self.requests_per_client = requests_per_client
         self.zipf_alpha = zipf_alpha
+        self.popularity = popularity
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._keys: list[str] = []
@@ -206,7 +226,11 @@ class ClosedLoopClients:
         population from scratch.
         """
         self._keys = list(keys)
-        self._key_probabilities = _key_probabilities(len(self._keys), self.zipf_alpha)
+        self._key_probabilities = (
+            self.popularity.probabilities(len(self._keys))
+            if self.popularity is not None
+            else _key_probabilities(len(self._keys), self.zipf_alpha)
+        )
         self._rng = np.random.default_rng(self._seed)
         self._issued = {}
         self._next_id = 0

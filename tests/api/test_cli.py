@@ -92,6 +92,104 @@ class TestSubprocessSmoke:
         assert "positive" in result.stderr
 
 
+class TestTraceSubcommands:
+    def test_record_then_replay_reproduces_the_report(self, tmp_path):
+        trace_path = tmp_path / "capture.jsonl"
+        recorded = run_cli(
+            "trace",
+            "record",
+            str(CONFIG_DIR / "serving_bursty.json"),
+            "--out",
+            str(trace_path),
+        )
+        assert recorded.returncode == 0, recorded.stderr
+        assert "recorded               120 arrivals" in recorded.stdout
+        assert trace_path.exists()
+
+        original = run_cli("serve", "--json", str(CONFIG_DIR / "serving_bursty.json"))
+        replayed = run_cli(
+            "trace",
+            "replay",
+            "--json",
+            str(CONFIG_DIR / "serving_bursty.json"),
+            "--trace",
+            str(trace_path),
+        )
+        assert replayed.returncode == 0, replayed.stderr
+        assert json.loads(replayed.stdout) == json.loads(original.stdout)
+
+    def test_fit_dataset_prints_a_calibrated_alpha(self):
+        result = run_cli("trace", "fit", "--dataset", "web-proxy-breslau99")
+        assert result.returncode == 0, result.stderr
+        assert "fitted zipf alpha" in result.stdout
+        alpha = float(result.stdout.rsplit(None, 1)[-1])
+        assert 0.64 <= alpha <= 0.83
+
+    def test_fit_requires_exactly_one_source(self):
+        result = run_cli("trace", "fit")
+        assert result.returncode == 2
+        assert "exactly one" in result.stderr
+
+    def test_serve_replay_config_is_deterministic(self):
+        first = run_cli("serve", str(CONFIG_DIR / "serving_replay.json"))
+        second = run_cli("serve", str(CONFIG_DIR / "serving_replay.json"))
+        assert first.returncode == 0, first.stderr
+        assert "traffic                replay" in first.stdout
+        assert first.stdout == second.stdout
+
+    def test_serve_diurnal_config_is_deterministic(self):
+        first = run_cli("serve", str(CONFIG_DIR / "serving_diurnal.json"))
+        second = run_cli("serve", str(CONFIG_DIR / "serving_diurnal.json"))
+        assert first.returncode == 0, first.stderr
+        assert "diurnal period" in first.stdout
+        assert "popularity             cdn-calibrated" in first.stdout
+        assert first.stdout == second.stdout
+
+    def test_record_refuses_fleet_configs(self, tmp_path):
+        result = run_cli(
+            "trace",
+            "record",
+            str(CONFIG_DIR / "serving_sharded.json"),
+            "--out",
+            str(tmp_path / "t.jsonl"),
+        )
+        assert result.returncode == 2
+        assert "fleet" in result.stderr
+
+    def test_malformed_trace_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"timestamp": -1.0, "key": "img0"}\n')
+        result = run_cli(
+            "trace",
+            "replay",
+            str(CONFIG_DIR / "serving_bursty.json"),
+            "--trace",
+            str(bad),
+        )
+        assert result.returncode == 2
+        assert "error:" in result.stderr
+
+
+class TestDocsSubcommand:
+    def test_docs_check_passes_on_the_committed_reference(self):
+        result = run_cli("docs", "--check")
+        assert result.returncode == 0, result.stderr
+        assert "up to date" in result.stdout
+
+    def test_docs_check_fails_on_a_stale_file(self, tmp_path):
+        stale = tmp_path / "reference.md"
+        stale.write_text("# old\n")
+        result = run_cli("docs", "--check", "--output", str(stale))
+        assert result.returncode == 1
+        assert "stale" in result.stderr
+
+    def test_docs_writes_the_reference(self, tmp_path):
+        out = tmp_path / "reference.md"
+        result = run_cli("docs", "--output", str(out))
+        assert result.returncode == 0, result.stderr
+        assert out.read_text().startswith("# Component reference")
+
+
 class TestInProcess:
     """Cheaper checks that don't need a subprocess per case."""
 

@@ -1,0 +1,58 @@
+"""Docs-generator tests: determinism, coverage, lint, and staleness.
+
+The committed ``docs/reference.md`` must equal what the generator produces
+from the current source — this test is the same guard CI's
+``python -m repro docs --check`` applies, so a PR that adds a component
+without regenerating the reference fails tier-1 locally too.
+"""
+
+from pathlib import Path
+
+from repro.api.docs import generate_reference, lint_docstrings
+from repro.api.registry import all_registries
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REFERENCE = REPO_ROOT / "docs" / "reference.md"
+
+
+class TestLint:
+    def test_no_component_or_module_is_missing_a_docstring(self):
+        assert lint_docstrings() == []
+
+
+class TestGenerator:
+    def test_output_is_deterministic(self):
+        assert generate_reference() == generate_reference()
+
+    def test_every_registry_and_component_appears(self):
+        text = generate_reference()
+        for key, registry in all_registries().items():
+            assert f"## `{key}`" in text
+            for name in registry.names():
+                assert f"### `{name}`" in text, f"{key}/{name} missing from reference"
+
+    def test_workload_realism_components_are_documented(self):
+        text = generate_reference()
+        for needle in (
+            "repro.serving.workload.TraceReplayArrivals",
+            "repro.serving.workload.DiurnalArrivals",
+            "repro.serving.popularity.CalibratedPopularity",
+        ):
+            assert needle in text
+
+    def test_knob_defaults_are_rendered(self):
+        text = generate_reference()
+        assert "| `speedup` | `1.0` |" in text
+        assert "| `trace_path` | `None` |" in text
+
+    def test_no_empty_entries(self):
+        assert "*(no docstring)*" not in generate_reference()
+
+
+class TestStaleness:
+    def test_committed_reference_matches_the_generator(self):
+        assert REFERENCE.exists(), "docs/reference.md missing; run: python -m repro docs"
+        committed = REFERENCE.read_text(encoding="utf-8")
+        assert committed == generate_reference(), (
+            "docs/reference.md is stale; regenerate with: python -m repro docs"
+        )

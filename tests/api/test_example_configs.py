@@ -1,0 +1,66 @@
+"""Every bundled example config must load, validate, and be documented.
+
+``examples/configs/`` is the public face of the facade — the README and
+docs point users at these files — so each one is loaded through
+``EngineConfig.from_dict`` (catching schema drift the moment a config
+section changes), round-tripped, and cross-checked against the README's
+config table.  Replay configs must also point at trace files that exist
+and parse.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.config import EngineConfig
+from repro.serving.traces import load_trace
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CONFIG_DIR = REPO_ROOT / "examples" / "configs"
+CONFIG_PATHS = sorted(CONFIG_DIR.glob("*.json"))
+
+
+def config_ids():
+    return [path.name for path in CONFIG_PATHS]
+
+
+def test_the_config_directory_is_not_empty():
+    assert CONFIG_PATHS, f"no example configs found under {CONFIG_DIR}"
+
+
+@pytest.mark.parametrize("path", CONFIG_PATHS, ids=config_ids())
+def test_config_loads_and_validates(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    config = EngineConfig.from_dict(data)
+    assert config.serving is not None or config.experiment is not None, (
+        f"{path.name} configures neither serving nor an experiment"
+    )
+
+
+@pytest.mark.parametrize("path", CONFIG_PATHS, ids=config_ids())
+def test_config_round_trips(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        config = EngineConfig.from_dict(json.load(handle))
+    assert EngineConfig.from_dict(config.to_dict()) == config
+
+
+@pytest.mark.parametrize("path", CONFIG_PATHS, ids=config_ids())
+def test_config_is_listed_in_the_readme_table(path):
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert path.name in readme, (
+        f"{path.name} is missing from the README's example-config table"
+    )
+
+
+@pytest.mark.parametrize("path", CONFIG_PATHS, ids=config_ids())
+def test_replay_configs_point_at_existing_traces(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        config = EngineConfig.from_dict(json.load(handle))
+    serving = config.serving
+    if serving is None or serving.arrivals.name != "replay":
+        pytest.skip("not a replay config")
+    trace_path = REPO_ROOT / serving.arrivals.trace_path
+    assert trace_path.exists(), f"{path.name} references missing {trace_path}"
+    assert load_trace(str(trace_path)), "bundled trace must parse"
