@@ -6,6 +6,12 @@ Usage (``python -m repro ...``):
   experiment (a paper table/figure) and print its deterministic table;
 * ``serve <config.json>`` — build the serving tier and drive the configured
   traffic through the discrete-event simulator; prints the SLO report;
+  ``--telemetry DIR`` attaches the observability pipeline (even when the
+  config omits the section) and writes ``metrics.jsonl`` / ``spans.jsonl``
+  / ``telemetry.json`` into DIR;
+* ``telemetry summarize <dir>`` — print (or ``--json``-emit) the
+  :class:`~repro.obs.exporters.TelemetryReport` a previous
+  ``serve --telemetry`` run wrote;
 * ``run``/``serve`` accept ``--json`` to emit the report through the
   unified :class:`~repro.api.reports.Report` schema instead of plain text
   (``Report.from_dict`` round-trips the output);
@@ -92,12 +98,43 @@ def _print_serve_report(engine: Engine, report, config_path: str) -> None:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    engine = Engine(load_config(args.config))
+    from repro.api.config import EngineConfig
+
+    config = load_config(args.config)
+    if args.telemetry is not None and config.serving is not None:
+        # --telemetry turns the pipeline on even when the config omits the
+        # observability section (the section's defaults apply).
+        data = config.to_dict()
+        if data["serving"].get("observability") is None:
+            data["serving"]["observability"] = {}
+        config = EngineConfig.from_dict(data)
+    engine = Engine(config)
     report = engine.serve()
+    if args.telemetry is not None:
+        paths = engine.last_telemetry.write(args.telemetry)
+        telemetry = engine.last_telemetry.report()
+        if not args.json:
+            print(f"telemetry              {args.telemetry} "
+                  f"({telemetry.num_windows} windows, "
+                  f"{telemetry.sampled_traces} span trees)")
+            for kind in sorted(paths):
+                print(f"  {kind:<21}{paths[kind]}")
     if args.json:
         print(report.to_json())
         return 0
     _print_serve_report(engine, report, args.config)
+    return 0
+
+
+def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import load_telemetry
+
+    report = load_telemetry(args.dir)
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(f"telemetry dir          {args.dir}")
+    print(report.format())
     return 0
 
 
@@ -288,7 +325,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the report through the unified Report JSON schema",
     )
+    serve.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="attach the telemetry pipeline and write metrics.jsonl / "
+        "spans.jsonl / telemetry.json into DIR",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    telemetry = commands.add_parser(
+        "telemetry", help="inspect telemetry written by serve --telemetry"
+    )
+    telemetry_commands = telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    summarize = telemetry_commands.add_parser(
+        "summarize", help="print the summary of a telemetry output directory"
+    )
+    summarize.add_argument("dir", help="directory written by serve --telemetry")
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the TelemetryReport through the unified Report JSON schema",
+    )
+    summarize.set_defaults(func=cmd_telemetry_summarize)
 
     sweep = commands.add_parser("sweep", help="serve a grid of config overrides")
     sweep.add_argument("config", help="path to an EngineConfig JSON file")

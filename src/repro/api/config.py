@@ -457,6 +457,45 @@ class BatchCostConfig(_DictMixin):
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig(_DictMixin):
+    """Telemetry over the serving event stream (absent section = off).
+
+    When the section is present, the engine attaches a
+    :class:`~repro.obs.exporters.TelemetryPipeline` to the run: sim-time
+    windowed metrics (``metrics``, window width ``window_s``), per-request
+    span trees (``tracing``, retained at the seeded deterministic
+    ``sample_rate``), and wall-clock profiling of the simulator itself
+    (``profiling``).  Telemetry is read-only — the run's own reports are
+    byte-for-byte identical with the section present or absent.
+    """
+
+    metrics: bool = True
+    tracing: bool = True
+    profiling: bool = True
+    window_s: float = 0.01
+    sample_rate: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.metrics or self.tracing or self.profiling,
+            "observability needs at least one of metrics/tracing/profiling "
+            "enabled (drop the section to turn telemetry off)",
+        )
+        _require(self.window_s > 0, "observability.window_s must be positive")
+        _require(
+            0.0 < self.sample_rate <= 1.0,
+            "observability.sample_rate must be in (0, 1]",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObservabilityConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class FleetConfig(_DictMixin):
     """Multi-node sharding of the serving tier.
 
@@ -494,6 +533,11 @@ class FleetConfig(_DictMixin):
                 f"fleet.overrides[{shard}] cannot override fleet/arrivals/"
                 "num_requests (traffic is fleet-wide)",
             )
+            _require(
+                "observability" not in patch,
+                f"fleet.overrides[{shard}] cannot override observability "
+                "(telemetry attaches fleet-wide and merges shard-wise)",
+            )
 
     @classmethod
     def from_dict(cls, data: dict) -> "FleetConfig":
@@ -514,7 +558,8 @@ class ServingConfig(_DictMixin):
     policies into the event loop (absent sections mean the no-op defaults).
     An optional ``fleet`` section shards this tier across several servers
     (each with its own cache, worker pool and control-plane policies)
-    behind a key router.
+    behind a key router.  An optional ``observability`` section attaches
+    the telemetry pipeline (absent = telemetry off, zero overhead).
     """
 
     arrivals: ArrivalsConfig = field(default_factory=ArrivalsConfig)
@@ -528,6 +573,7 @@ class ServingConfig(_DictMixin):
     admission: AdmissionConfig | None = None
     prefetch: PrefetchConfig | None = None
     fleet: FleetConfig | None = None
+    observability: ObservabilityConfig | None = None
 
     def __post_init__(self) -> None:
         _require(self.num_requests > 0, "serving.num_requests must be positive")
@@ -551,6 +597,9 @@ class ServingConfig(_DictMixin):
         data["admission"] = _pop_section(data, "admission", AdmissionConfig)
         data["prefetch"] = _pop_section(data, "prefetch", PrefetchConfig)
         data["fleet"] = _pop_section(data, "fleet", FleetConfig)
+        data["observability"] = _pop_section(
+            data, "observability", ObservabilityConfig
+        )
         return cls(**data)
 
     def for_shard(self, shard: int) -> "ServingConfig":

@@ -48,6 +48,7 @@ from repro.core.policies import ResolutionPolicy
 from repro.core.scale_model import ScaleModelPredictor
 from repro.data.dataset import SyntheticDataset
 from repro.nn.module import Module
+from repro.obs.exporters import TelemetryPipeline
 from repro.serving.arrivals import ClosedLoopClients, Request
 from repro.serving.batcher import BatchCostModel
 from repro.serving.cache import ScanCache
@@ -86,6 +87,9 @@ class Engine:
         self._store = store
         self._backbone = backbone
         self._read_policy: ScanReadPolicy | None = None
+        # The telemetry pipeline of the most recent serve() (None when the
+        # config has no observability section).
+        self.last_telemetry: TelemetryPipeline | None = None
 
     @classmethod
     def from_file(cls, path: str) -> "Engine":
@@ -252,6 +256,16 @@ class Engine:
         )
         return ShardedFleet(servers, router)
 
+    def build_telemetry(self, serving=None) -> TelemetryPipeline | None:
+        """A fresh telemetry pipeline per ``serving.observability`` (None = off)."""
+        serving = serving if serving is not None else self._serving_section()
+        section = serving.observability
+        if section is None:
+            return None
+        return TelemetryPipeline.from_config(
+            section, max_batch_size=serving.max_batch_size
+        )
+
     def build_popularity(self, serving=None) -> PopularityModel | None:
         """The key-popularity model of ``serving.arrivals.popularity``, if any."""
         serving = serving if serving is not None else self._serving_section()
@@ -321,17 +335,34 @@ class Engine:
         """
         serving = self._serving_section()
         traffic = self.build_trace() if trace is None else trace
+        self.last_telemetry = None
         if serving.fleet is not None:
             if isinstance(traffic, ClosedLoopClients):
                 raise ValueError(
                     "sharded fleets serve open-loop traces; closed-loop clients "
                     "are bound to one server's completion times"
                 )
-            return self.build_fleet().run(traffic)
+            fleet = self.build_fleet()
+            factory = None
+            if serving.observability is not None:
+                factory = lambda: self.build_telemetry(serving)  # noqa: E731
+            report = fleet.run(traffic, telemetry_factory=factory)
+            self.last_telemetry = fleet.last_telemetry
+            return report
         server = self.build_server()
-        if isinstance(traffic, ClosedLoopClients):
-            return server.run_closed_loop(traffic, self.build_store().keys())
-        return server.run(traffic)
+        pipeline = self.build_telemetry(serving)
+        if pipeline is not None:
+            pipeline.attach(server)
+        try:
+            if isinstance(traffic, ClosedLoopClients):
+                report = server.run_closed_loop(traffic, self.build_store().keys())
+            else:
+                report = server.run(traffic)
+        finally:
+            if pipeline is not None:
+                pipeline.detach(server)
+        self.last_telemetry = pipeline
+        return report
 
     def run_experiment(self, name: str | None = None, **overrides) -> ExperimentResult:
         """Run a named experiment (default: the config's ``experiment`` section).

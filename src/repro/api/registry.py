@@ -133,6 +133,9 @@ PROFILES = Registry("dataset profile")
 #: Named experiments (``repro.api.experiments``): name -> fn(engine, options).
 EXPERIMENTS = Registry("experiment")
 
+#: Server event-stream observers (``repro.serving.events``, ``repro.obs``).
+OBSERVERS = Registry("observer")
+
 
 def all_registries() -> dict[str, Registry]:
     """Every registry by a stable plural key (what ``list-components`` prints)."""
@@ -150,6 +153,7 @@ def all_registries() -> dict[str, Registry]:
         "machines": MACHINES,
         "profiles": PROFILES,
         "experiments": EXPERIMENTS,
+        "observers": OBSERVERS,
     }
 
 

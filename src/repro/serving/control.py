@@ -92,6 +92,16 @@ class AdmissionPolicy(ServerObserver):
     def reset_counters(self) -> None:
         """Zero per-run tallies and smoothing state (called once per run)."""
 
+    def bind_metrics(self, registry) -> None:
+        """Receive the telemetry :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Called by the server when a telemetry pipeline attaches (and with
+        ``None`` when it detaches).  Policies may publish their internal
+        state as gauges and read windowed signals back via
+        ``registry.latest(name)`` — the hook future autoscaling policies
+        build on.  The default ignores the registry.
+        """
+
 
 @ADMISSION_POLICIES.register("always-admit")
 class AlwaysAdmit(AdmissionPolicy):
@@ -148,6 +158,11 @@ class EwmaAdmissionController(AdmissionPolicy):
         self.admitted_requests = 0
         self.dropped_requests = 0
         self.drops_by_reason: dict[str, int] = {}
+        self._metrics = None
+        self._now = 0.0
+
+    def bind_metrics(self, registry) -> None:
+        self._metrics = registry
 
     def _observe_depth(self, depth: int) -> float:
         if self.smoothed_depth is None:
@@ -155,6 +170,12 @@ class EwmaAdmissionController(AdmissionPolicy):
         else:
             self.smoothed_depth = (
                 self.alpha * depth + (1.0 - self.alpha) * self.smoothed_depth
+            )
+        if self._metrics is not None:
+            # Publish the controller's internal estimate so telemetry (and
+            # tests) can compare it against the windowed queue-depth gauge.
+            self._metrics.set_gauge(
+                "admission.smoothed_queue_depth", self._now, self.smoothed_depth
             )
         return self.smoothed_depth
 
@@ -164,6 +185,7 @@ class EwmaAdmissionController(AdmissionPolicy):
         return AdmissionDecision.drop(reason)
 
     def admit(self, request: Request, now: float, queue_depth: int) -> AdmissionDecision:
+        self._now = now
         smoothed = self._observe_depth(queue_depth)
         if smoothed > self.depth_threshold:
             return self._drop("queue-depth")
@@ -194,6 +216,7 @@ class EwmaAdmissionController(AdmissionPolicy):
         self.admitted_requests = 0
         self.dropped_requests = 0
         self.drops_by_reason = {}
+        self._now = 0.0
 
 
 # ---------------------------------------------------------------------------

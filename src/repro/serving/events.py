@@ -17,8 +17,10 @@ same configuration produce identical streams.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
+from repro.api.registry import OBSERVERS
 from repro.serving.arrivals import Request
 from repro.serving.metrics import ServedRequest
 
@@ -104,18 +106,40 @@ class ServerObserver:
         pass
 
 
+@OBSERVERS.register("event-log")
 class EventLog(ServerObserver):
-    """An observer that records the whole stream (tests, examples, debugging)."""
+    """An observer that records the stream (tests, examples, debugging).
 
-    def __init__(self) -> None:
-        self.events: list[ServerEvent] = []
+    By default every event is kept.  ``max_events`` switches the log to a
+    ring buffer holding only the most recent events, so million-request
+    runs can keep a debugging tail without holding the whole stream alive;
+    :attr:`dropped_events` counts how many older events the ring evicted.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError("max_events must be positive (or None for unbounded)")
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._events: deque[ServerEvent] = deque(maxlen=max_events)
+
+    @property
+    def events(self) -> list[ServerEvent]:
+        """The retained events, oldest first (the newest ``max_events``)."""
+        return list(self._events)
 
     def on_event(self, event: ServerEvent) -> None:
-        self.events.append(event)
+        if (
+            self.max_events is not None
+            and len(self._events) == self.max_events
+        ):
+            self.dropped_events += 1
+        self._events.append(event)
 
     def of_type(self, *event_types: type) -> list[ServerEvent]:
         """The recorded events of the given type(s), in emission order."""
-        return [event for event in self.events if isinstance(event, event_types)]
+        return [event for event in self._events if isinstance(event, event_types)]
 
     def clear(self) -> None:
-        self.events = []
+        self._events = deque(maxlen=self.max_events)
+        self.dropped_events = 0

@@ -328,6 +328,9 @@ class ShardedFleet:
                 "fleet servers must share one StorageBandwidthModel; "
                 f"got {len(bandwidths)} distinct models"
             )
+        # The merged per-shard telemetry of the most recent run() with a
+        # telemetry_factory (a repro.obs.exporters.TelemetryPipeline).
+        self.last_telemetry = None
 
     @property
     def num_shards(self) -> int:
@@ -340,12 +343,23 @@ class ShardedFleet:
             shards[self.router.route(request.key)].append(request)
         return shards
 
-    def run(self, trace: Sequence[Request]) -> FleetReport:
-        """Serve the trace across the fleet and merge the shard reports."""
+    def run(self, trace: Sequence[Request], telemetry_factory=None) -> FleetReport:
+        """Serve the trace across the fleet and merge the shard reports.
+
+        ``telemetry_factory``, when given, is a zero-argument callable
+        producing one fresh :class:`~repro.obs.exporters.TelemetryPipeline`
+        per active shard; each pipeline observes its shard's run, and the
+        shard-wise merge (raw histograms and span sets, not derived stats —
+        percentiles cannot merge post hoc) lands in :attr:`last_telemetry`.
+        Shards share one simulated timeline, so merged windows align by
+        index and fleet-wide per-window percentiles are true merges.
+        """
         if not trace:
             raise ValueError("cannot serve an empty trace")
         sub_traces = self.partition(trace)
 
+        self.last_telemetry = None
+        pipelines = []
         shard_reports: list[ShardReport] = []
         merged_served = []
         store_requests = 0
@@ -359,7 +373,16 @@ class ShardedFleet:
             if not sub_trace:
                 shard_reports.append(ShardReport(shard_id, 0, None))
                 continue
-            report = server.run(sub_trace)
+            pipeline = telemetry_factory() if telemetry_factory is not None else None
+            if pipeline is not None:
+                pipeline.attach(server)
+            try:
+                report = server.run(sub_trace)
+            finally:
+                if pipeline is not None:
+                    pipeline.detach(server)
+            if pipeline is not None:
+                pipelines.append(pipeline)
             shard_reports.append(ShardReport(shard_id, report.num_requests, report))
             merged_served.extend(server.last_served)
             store_requests += server.store_requests
@@ -382,6 +405,12 @@ class ShardedFleet:
             prefetch_hits=prefetch_hits,
             prefetch_wasted_bytes=prefetch_wasted,
         )
+        if pipelines:
+            merged_telemetry = pipelines[0]
+            for pipeline in pipelines[1:]:
+                merged_telemetry.merge(pipeline)
+            self.last_telemetry = merged_telemetry
+
         # Imbalance is over *offered* (routed) per-shard load: what the
         # router dealt each shard, before any admission policy shed work.
         offered = [len(sub_trace) for sub_trace in sub_traces]

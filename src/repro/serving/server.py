@@ -42,6 +42,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -148,6 +149,7 @@ class InferenceServer:
         admission: AdmissionPolicy | None = None,
         prefetch: PrefetchPolicy | None = None,
         observers: Sequence[ServerObserver] = (),
+        profiler=None,
     ) -> None:
         self.store = store
         self.backbone = backbone
@@ -166,6 +168,9 @@ class InferenceServer:
         self._request_fetch_ops = 0
         self.last_served: list[ServedRequest] = []
         self.last_dropped: list[tuple[Request, str]] = []
+        # Wall-clock instrumentation (repro.obs.profiling.Profiler); None keeps
+        # the hot path at one identity check per heap pop.
+        self.profiler = profiler
         # Control-plane policies observe the same stream as everyone else.
         self._observers: list[ServerObserver] = [
             self.admission,
@@ -178,9 +183,40 @@ class InferenceServer:
         """Register an observer for this server's lifecycle event stream."""
         self._observers.append(observer)
 
+    def unsubscribe(self, observer: ServerObserver) -> None:
+        """Remove a previously subscribed observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def attach_metrics(self, registry) -> None:
+        """Hand the telemetry metrics registry to the control-plane policies.
+
+        Called by :class:`~repro.obs.exporters.TelemetryPipeline` on attach
+        (and with ``None`` on detach); each policy that defines
+        ``bind_metrics`` gets the registry so it can publish gauges and read
+        windowed signals back.
+        """
+        for policy in (self.admission, self.prefetch, self.policy):
+            bind = getattr(policy, "bind_metrics", None)
+            if bind is not None:
+                bind(registry)
+
     def _emit(self, event: ServerEvent) -> None:
+        if self.profiler is not None:
+            with self.profiler.scope("observer-emit"):
+                for observer in self._observers:
+                    observer.on_event(event)
+            return
         for observer in self._observers:
             observer.on_event(event)
+
+    def _scope(self, name: str):
+        """A profiler scope when profiling is on, else a no-op context."""
+        if self.profiler is not None:
+            return self.profiler.scope(name)
+        return nullcontext()
 
     # -- reads -------------------------------------------------------------------
     @property
@@ -191,6 +227,12 @@ class InferenceServer:
         self, key: str, num_scans: int, record: bool, already_read: int = 0
     ) -> tuple[np.ndarray, int]:
         """Read through the cache (or store); returns (image, bytes_fetched)."""
+        with self._scope("storage-read"):
+            return self._fetch_inner(key, num_scans, record, already_read)
+
+    def _fetch_inner(
+        self, key: str, num_scans: int, record: bool, already_read: int = 0
+    ) -> tuple[np.ndarray, int]:
         if self.cache is not None:
             image, read = self.cache.read_through(
                 self.store, key, num_scans, record=record, already_read=already_read
@@ -348,13 +390,18 @@ class InferenceServer:
             self.policy.reset_counters()
         self.admission.reset_counters()
         self.prefetch.reset_counters()
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.reset()
+            profiler.start_run()
 
         def start_batch(resolution: int, items: list[_InFlight], now: float) -> None:
             nonlocal free_workers
             free_workers -= 1
             for item in items:
                 item.dispatch_time = now
-            latency = self.batch_cost.batch_seconds(resolution, len(items))
+            with self._scope("batch-pricing"):
+                latency = self.batch_cost.batch_seconds(resolution, len(items))
             push(now + latency, _DONE, (resolution, items))
 
         def dispatch(resolution: int, items: list[_InFlight], now: float) -> None:
@@ -364,8 +411,11 @@ class InferenceServer:
             else:
                 dispatch_queue.append((resolution, items))
 
+        now = 0.0
         while heap:
             now, _, kind, payload = heapq.heappop(heap)
+            if profiler is not None:
+                profiler.events += 1
 
             if kind == _ARRIVAL:
                 request = payload
@@ -375,7 +425,8 @@ class InferenceServer:
                 last_arrival_time = now
                 actions = self.prefetch.plan(now, idle_s, self)
                 if actions:
-                    self._execute_prefetch(actions, now)
+                    with self._scope("prefetch"):
+                        self._execute_prefetch(actions, now)
                 queue_depth = batcher.queue_depth + sum(
                     len(items) for _, items in dispatch_queue
                 )
@@ -428,7 +479,8 @@ class InferenceServer:
 
             elif kind == _DONE:
                 resolution, items = payload
-                predictions = self._execute(resolution, items)
+                with self._scope("backbone-execute"):
+                    predictions = self._execute(resolution, items)
                 for item, prediction in zip(items, predictions):
                     request = item.request
                     record = ServedRequest(
@@ -457,6 +509,10 @@ class InferenceServer:
                 if dispatch_queue:
                     queued_resolution, queued_items = dispatch_queue.popleft()
                     start_batch(queued_resolution, queued_items, now)
+
+        if profiler is not None:
+            profiler.completed_requests += len(served)
+            profiler.stop_run(sim_seconds=now)
 
         # Kept for composition layers (the sharded fleet merges the raw
         # records of many servers into one fleet-wide report).

@@ -35,6 +35,7 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.api.registry import OBSERVERS
 from repro.serving.events import (
     RequestAdmitted,
     RequestArrived,
@@ -253,6 +254,7 @@ def save_trace(records: Iterable[TraceRecord], path: str) -> int:
     return len(records)
 
 
+@OBSERVERS.register("trace-recorder")
 class TraceRecorder(ServerObserver):
     """An observer that exports a simulated run back to the trace schema.
 

@@ -214,3 +214,65 @@ class TestInProcess:
         bad.write_text(json.dumps({"crop_ratio": 2.0}))
         assert main(["run", str(bad)]) == 2
         assert "crop_ratio" in capsys.readouterr().err
+
+
+class TestTelemetrySubcommands:
+    def test_serve_with_telemetry_writes_the_dump_files(self, tmp_path):
+        out = tmp_path / "telemetry"
+        result = run_cli(
+            "serve", str(CONFIG_DIR / "serving_diurnal.json"), "--telemetry", str(out)
+        )
+        assert result.returncode == 0, result.stderr
+        assert "telemetry              " in result.stdout
+        for name in ("metrics.jsonl", "spans.jsonl", "telemetry.json"):
+            assert (out / name).exists(), name
+        windows = [
+            json.loads(line)
+            for line in (out / "metrics.jsonl").read_text().splitlines()
+        ]
+        assert windows and all("drop_rate" in row for row in windows)
+        report = json.loads((out / "telemetry.json").read_text())
+        assert report["kind"] == "telemetry"
+        assert report["counters"]["arrivals"] == 200
+
+    def test_telemetry_does_not_change_the_serve_report(self, tmp_path):
+        bare = run_cli("serve", str(CONFIG_DIR / "serving_admission.json"))
+        observed = run_cli(
+            "serve",
+            str(CONFIG_DIR / "serving_admission.json"),
+            "--telemetry",
+            str(tmp_path / "telemetry"),
+        )
+        assert bare.returncode == observed.returncode == 0
+        # The observed run prints the telemetry paths, then the same report.
+        assert observed.stdout.endswith(bare.stdout)
+        assert observed.stdout.startswith("telemetry              ")
+
+    def test_summarize_round_trips_the_directory(self, tmp_path):
+        out = tmp_path / "telemetry"
+        serve = run_cli(
+            "serve", str(CONFIG_DIR / "serving_diurnal.json"), "--telemetry", str(out)
+        )
+        assert serve.returncode == 0, serve.stderr
+        summary = run_cli("telemetry", "summarize", str(out))
+        assert summary.returncode == 0, summary.stderr
+        for needle in ("telemetry windows", "window series", "critical stage"):
+            assert needle in summary.stdout
+        as_json = run_cli("telemetry", "summarize", str(out), "--json")
+        assert as_json.returncode == 0, as_json.stderr
+        data = json.loads(as_json.stdout)
+        assert data["kind"] == "telemetry"
+        assert data == json.loads((out / "telemetry.json").read_text())
+
+    def test_summarize_fails_cleanly_on_a_missing_dir(self, tmp_path):
+        result = run_cli("telemetry", "summarize", str(tmp_path / "nothing"))
+        assert result.returncode != 0
+
+    def test_fleet_serve_with_telemetry(self, tmp_path):
+        out = tmp_path / "telemetry"
+        result = run_cli(
+            "serve", str(CONFIG_DIR / "serving_sharded.json"), "--telemetry", str(out)
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads((out / "telemetry.json").read_text())
+        assert report["counters"]["arrivals"] == 160

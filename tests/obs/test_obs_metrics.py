@@ -1,0 +1,182 @@
+"""Metrics-layer tests: histogram accuracy, windowing, merging, collection.
+
+The headline contract is percentile parity: the streaming histogram's
+quantiles must sit within one log-spaced bin's relative width of the exact
+``np.percentile`` answer ``serving/metrics.py`` computes, and that bound
+must survive shard-wise merging (fleet percentiles are bin-count sums, not
+averages of averages).
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsCollector, MetricsRegistry, StreamingHistogram
+
+#: One bin's relative width at the default 64 bins/decade — the error bound.
+BIN_WIDTH = 10.0 ** (1.0 / 64.0) - 1.0
+
+
+class TestStreamingHistogram:
+    def test_percentile_parity_with_exact_numpy(self):
+        rng = np.random.default_rng(42)
+        values = rng.lognormal(mean=-4.0, sigma=1.0, size=5000)
+        histogram = StreamingHistogram()
+        for value in values:
+            histogram.observe(float(value))
+        for q in (1, 25, 50, 90, 95, 99):
+            exact = float(np.percentile(values, q))
+            approx = histogram.quantile(q)
+            assert approx == pytest.approx(exact, rel=BIN_WIDTH + 1e-9)
+
+    def test_parity_matches_the_slo_report_percentiles(self, make_server, make_trace):
+        """The bound holds against real served latencies, not just synthetic."""
+        collector = MetricsCollector(window_s=0.01)
+        server = make_server(observers=[collector])
+        report = server.run(make_trace(n=30))
+        histogram = collector.registry.histogram("latency_s")
+        assert histogram.count == report.num_requests
+        assert histogram.quantile(50) * 1e3 == pytest.approx(
+            report.p50_latency_ms, rel=BIN_WIDTH + 1e-9
+        )
+        assert histogram.quantile(99) * 1e3 == pytest.approx(
+            report.p99_latency_ms, rel=BIN_WIDTH + 1e-9
+        )
+
+    def test_merge_preserves_the_error_bound(self):
+        rng = np.random.default_rng(7)
+        left_values = rng.lognormal(mean=-3.0, sigma=0.8, size=2000)
+        right_values = rng.lognormal(mean=-5.0, sigma=1.2, size=3000)
+        left, right = StreamingHistogram(), StreamingHistogram()
+        for value in left_values:
+            left.observe(float(value))
+        for value in right_values:
+            right.observe(float(value))
+        left.merge(right)
+        combined = np.concatenate([left_values, right_values])
+        assert left.count == combined.size
+        assert left.mean == pytest.approx(float(np.mean(combined)))
+        for q in (50, 99):
+            assert left.quantile(q) == pytest.approx(
+                float(np.percentile(combined, q)), rel=BIN_WIDTH + 1e-9
+            )
+
+    def test_quantiles_clamp_to_observed_range(self):
+        histogram = StreamingHistogram()
+        for value in (0.004, 0.005, 0.006):
+            histogram.observe(value)
+        assert histogram.quantile(0) >= histogram.min == 0.004
+        assert histogram.quantile(100) <= histogram.max == 0.006
+
+    def test_empty_and_invalid(self):
+        histogram = StreamingHistogram()
+        assert histogram.quantile(50) is None
+        assert histogram.mean is None
+        with pytest.raises(ValueError):
+            histogram.observe(-1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(101)
+        with pytest.raises(ValueError):
+            histogram.merge(StreamingHistogram(bins_per_decade=32))
+        with pytest.raises(ValueError):
+            StreamingHistogram(min_value=0.0)
+
+
+class TestMetricsRegistry:
+    def test_counters_land_in_total_and_window(self):
+        registry = MetricsRegistry(window_s=0.01)
+        registry.inc("arrivals", 0.001)
+        registry.inc("arrivals", 0.012)
+        registry.inc("arrivals", 0.013, amount=2)
+        assert registry.counter("arrivals") == 4
+        assert registry.counter("unknown") == 0
+        assert registry.window_indices() == [0, 1]
+        assert registry.window(0).counters["arrivals"] == 1
+        assert registry.window(1).counters["arrivals"] == 3
+
+    def test_latest_gauge(self):
+        registry = MetricsRegistry(window_s=0.01)
+        assert registry.latest("queue_depth") is None
+        registry.set_gauge("queue_depth", 0.002, 3.0)
+        registry.set_gauge("queue_depth", 0.004, 7.0)
+        assert registry.latest("queue_depth") == 7.0
+        window = registry.window(0).gauges["queue_depth"]
+        assert window.count == 2
+        assert window.max == 7.0
+
+    def test_merge_aligns_windows_by_index(self):
+        left, right = MetricsRegistry(0.01), MetricsRegistry(0.01)
+        left.inc("arrivals", 0.005)
+        right.inc("arrivals", 0.006)
+        right.inc("arrivals", 0.015)
+        right.observe("latency_s", 0.006, 0.002)
+        left.merge(right)
+        assert left.counter("arrivals") == 3
+        assert left.window(0).counters["arrivals"] == 2
+        assert left.window(1).counters["arrivals"] == 1
+        assert left.histogram("latency_s").count == 1
+        with pytest.raises(ValueError):
+            left.merge(MetricsRegistry(0.02))
+
+
+class TestMetricsCollector:
+    def test_totals_match_the_slo_report(self, make_server, make_trace):
+        collector = MetricsCollector(window_s=0.01, max_batch_size=4)
+        server = make_server(observers=[collector])
+        trace = make_trace(n=24)
+        report = server.run(trace)
+        registry = collector.registry
+        assert registry.counter("arrivals") == len(trace)
+        assert registry.counter("completions") == report.num_requests
+        assert registry.counter("drops") == report.dropped_requests
+        assert registry.counter("bytes_from_store") == report.bytes_from_store
+        assert registry.counter("bytes_from_cache") == report.bytes_from_cache
+
+    def test_series_is_gap_filled_and_consistent(self, make_server, make_trace):
+        collector = MetricsCollector(window_s=0.005, max_batch_size=4)
+        server = make_server(observers=[collector])
+        trace = make_trace(n=24)
+        report = server.run(trace)
+        series = collector.series()
+        assert series  # at least one window
+        indices = [window.index for window in series]
+        assert indices == list(range(indices[0], indices[-1] + 1))
+        assert sum(window.arrivals for window in series) == len(trace)
+        assert sum(window.completions for window in series) == report.num_requests
+        for window in series:
+            assert window.end_s == pytest.approx(window.start_s + 0.005)
+            assert 0.0 <= window.drop_rate <= 1.0
+            if window.cache_hit_rate is not None:
+                assert 0.0 <= window.cache_hit_rate <= 1.0
+            if window.batch_occupancy is not None:
+                assert 0.0 < window.batch_occupancy <= 1.0
+
+    def test_shard_merge_equals_one_collector_over_both_streams(
+        self, make_server, make_trace
+    ):
+        """Merging per-shard collectors is exactly the fleet-wide fold."""
+        trace_a, trace_b = make_trace(n=16, seed=5), make_trace(n=16, seed=9)
+        shard_a, shard_b = MetricsCollector(0.01, 4), MetricsCollector(0.01, 4)
+        make_server(observers=[shard_a]).run(trace_a)
+        make_server(observers=[shard_b]).run(trace_b)
+        shard_a.merge(shard_b)
+
+        union = MetricsCollector(0.01, 4)
+        make_server(observers=[union]).run(trace_a)
+        # Feed the second stream through the same collector (commutative fold).
+        second = make_server(observers=[union])
+        second.run(trace_b)
+        # Counters are folds, so union totals must equal the merged totals.
+        for name in ("arrivals", "completions", "batch_flushes", "bytes_from_store"):
+            assert shard_a.registry.counter(name) == union.registry.counter(name)
+        merged_series = shard_a.series()
+        union_series = union.series()
+        assert [w.arrivals for w in merged_series] == [w.arrivals for w in union_series]
+        assert [w.p99_latency_ms for w in merged_series] == [
+            w.p99_latency_ms for w in union_series
+        ]
+
+    def test_collector_never_perturbs_the_run(self, make_server, make_trace):
+        trace = make_trace(n=24)
+        bare = make_server().run(trace)
+        observed = make_server(observers=[MetricsCollector(0.01)]).run(trace)
+        assert bare.to_json() == observed.to_json()

@@ -174,3 +174,41 @@ class TestStreamDeterminism:
         assert len(log.of_type(RequestCompleted)) == 8
         log.clear()
         assert log.events == []
+
+
+class TestRingBuffer:
+    def test_unbounded_log_never_drops(self, event_store, backbone):
+        log = EventLog()
+        make_server(event_store, backbone, log=log).run(trace_for(event_store))
+        assert log.dropped_events == 0
+
+    def test_bounded_log_keeps_the_newest_events(self, event_store, backbone):
+        trace = trace_for(event_store)
+        full, ring = EventLog(), EventLog(max_events=10)
+        make_server(event_store, backbone, log=full).run(trace)
+        make_server(event_store, backbone, log=ring).run(trace)
+        assert len(ring.events) == 10
+        assert ring.dropped_events == len(full.events) - 10
+        # The ring holds exactly the tail of the unbounded stream.
+        assert ring.events == full.events[-10:]
+
+    def test_of_type_respects_the_window(self, event_store, backbone):
+        ring = EventLog(max_events=10)
+        make_server(event_store, backbone, log=ring).run(trace_for(event_store))
+        assert ring.of_type(RequestCompleted) == [
+            event for event in ring.events if isinstance(event, RequestCompleted)
+        ]
+
+    def test_clear_resets_the_drop_counter(self, event_store, backbone):
+        ring = EventLog(max_events=5)
+        make_server(event_store, backbone, log=ring).run(trace_for(event_store, n=8))
+        assert ring.dropped_events > 0
+        ring.clear()
+        assert ring.events == []
+        assert ring.dropped_events == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)
+        with pytest.raises(ValueError):
+            EventLog(max_events=-3)
