@@ -59,6 +59,9 @@ _LAZY_EXPORTS = {
     "ShardedFleet": "repro.serving.fleet",
     "ConsistentHashRouter": "repro.serving.fleet",
     "FleetReport": "repro.serving.fleet",
+    # Sweep orchestration (parallel grids, columnar results, Pareto).
+    "SweepRunner": "repro.sweep.runner",
+    "ResultsTable": "repro.sweep.results",
 }
 
 __all__ = [

@@ -39,11 +39,13 @@ _CONFIG_EXPORTS = (
     "EngineConfig",
     "ExperimentConfig",
     "FleetConfig",
+    "ObjectiveConfig",
     "PolicyConfig",
     "PopularityConfig",
     "PrefetchConfig",
     "ServingConfig",
     "StoreConfig",
+    "SweepConfig",
     "load_config",
 )
 _ENGINE_EXPORTS = ("Engine", "ExperimentResult", "SweepPoint")

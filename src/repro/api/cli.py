@@ -15,9 +15,16 @@ Usage (``python -m repro ...``):
 * ``run``/``serve`` accept ``--json`` to emit the report through the
   unified :class:`~repro.api.reports.Report` schema instead of plain text
   (``Report.from_dict`` round-trips the output);
-* ``sweep <config.json> [--param path=v1,v2,...]`` — serve every point of
-  the override grid (from the config's ``sweep`` section and/or ``--param``
-  flags) and print one summary row per point;
+* ``sweep <config.json> [--param path=v1,v2,...] [--workers N] [--out DIR]``
+  — serve every point of the override grid (from the config's ``sweep``
+  section and/or ``--param`` flags) and print one summary row per point;
+  ``--workers N`` fans cells across a process pool, ``--out DIR`` persists
+  per-cell results (killed sweeps resume by skipping completed cells) and
+  writes the combined ``results.csv`` / ``results.jsonl`` plus
+  ``pareto.json``;
+* ``sweep combine --out DIR`` / ``sweep pareto --out DIR [--objective
+  COLUMN=min|max ...]`` — re-run just the combine or Pareto-analysis stage
+  over an existing sweep output directory;
 * ``trace record <config.json> --out t.jsonl`` — run the configured
   scenario with a :class:`~repro.serving.traces.TraceRecorder` attached and
   export the arrival stream to the trace schema;
@@ -61,6 +68,17 @@ def _parse_param(text: str) -> tuple[str, list]:
         except json.JSONDecodeError:
             values.append(raw)  # bare strings are allowed unquoted
     return path, values
+
+
+def _parse_objective(text: str):
+    """Parse ``COLUMN[=min|max]`` into a sweep analysis objective."""
+    from repro.sweep.analysis import Objective
+
+    column, _, direction = text.partition("=")
+    try:
+        return Objective(column, direction or "min")
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -138,12 +156,66 @@ def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chosen_objectives(args: argparse.Namespace, config=None):
+    """Objectives for the analysis stage: --objective flags beat the config."""
+    from repro.sweep.analysis import Objective
+
+    if getattr(args, "objective", None):
+        return tuple(args.objective)
+    if config is not None and config.sweep.objectives:
+        return tuple(
+            Objective(entry.column, entry.direction)
+            for entry in config.sweep.objectives
+        )
+    return None  # fall back to DEFAULT_OBJECTIVES inside pareto_analysis
+
+
+def _sweep_combine(args: argparse.Namespace) -> int:
+    """The standalone combine sub-step: fold cell files into results.csv/jsonl."""
+    from repro.sweep.results import combine_output_dir, write_table
+
+    if args.out is None:
+        print("error: sweep combine requires --out DIR", file=sys.stderr)
+        return 2
+    table = combine_output_dir(args.out)
+    paths = write_table(table, args.out)
+    print(f"combined               {table.num_rows} cells, {len(table.columns)} columns")
+    for kind in sorted(paths):
+        print(f"  {kind:<21}{paths[kind]}")
+    return 0
+
+
+def _sweep_pareto(args: argparse.Namespace) -> int:
+    """The standalone analysis sub-step: Pareto frontiers over results.jsonl."""
+    from repro.sweep.analysis import format_analysis, pareto_analysis, write_pareto
+    from repro.sweep.results import load_table
+
+    if args.out is None:
+        print("error: sweep pareto requires --out DIR", file=sys.stderr)
+        return 2
+    table = load_table(args.out)
+    analysis = pareto_analysis(table, _chosen_objectives(args))
+    path = write_pareto(analysis, args.out)
+    if args.json:
+        print(json.dumps(analysis, indent=2, sort_keys=True))
+        return 0
+    print(format_analysis(analysis))
+    print(f"pareto                 {path}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    # The config positional doubles as a sub-step selector so the combine
+    # and analysis stages can be re-run on an existing output directory.
+    if args.config == "combine":
+        return _sweep_combine(args)
+    if args.config == "pareto":
+        return _sweep_pareto(args)
     engine = Engine(load_config(args.config))
-    grid = dict(engine.config.sweep)
+    grid = dict(engine.config.sweep.grid)
     for path, values in args.param or []:
         grid[path] = values
-    points = engine.sweep(grid)
+    points = engine.sweep(grid, workers=args.workers, output_dir=args.out)
     paths = sorted(grid)
     rows = [
         [
@@ -163,6 +235,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             float_format="{:.1f}",
         )
     )
+    if args.out is not None:
+        from repro.sweep.analysis import pareto_analysis, write_pareto
+        from repro.sweep.results import combine_output_dir, write_table
+
+        table = combine_output_dir(args.out)
+        written = write_table(table, args.out)
+        analysis = pareto_analysis(table, _chosen_objectives(args, engine.config))
+        written["pareto"] = write_pareto(analysis, args.out)
+        for kind in sorted(written):
+            print(f"  {kind:<21}{written[kind]}")
     return 0
 
 
@@ -352,13 +434,43 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.set_defaults(func=cmd_telemetry_summarize)
 
     sweep = commands.add_parser("sweep", help="serve a grid of config overrides")
-    sweep.add_argument("config", help="path to an EngineConfig JSON file")
+    sweep.add_argument(
+        "config",
+        help="path to an EngineConfig JSON file, or the literal 'combine' / "
+        "'pareto' to re-run that stage on an existing --out directory",
+    )
     sweep.add_argument(
         "--param",
         action="append",
         type=_parse_param,
         metavar="PATH=V1,V2,...",
         help="add/override one sweep dimension (dotted config path)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: the config's sweep.workers, i.e. serial)",
+    )
+    sweep.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="persist per-cell results under DIR/cells/ (resumable) and write "
+        "results.csv / results.jsonl / pareto.json",
+    )
+    sweep.add_argument(
+        "--objective",
+        action="append",
+        type=_parse_objective,
+        metavar="COLUMN[=min|max]",
+        help="analysis objective over the combined table (repeatable; default: "
+        "p99 latency, drop rate, transfer dollars — all minimized)",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="with 'pareto': emit the analysis document as JSON",
     )
     sweep.set_defaults(func=cmd_sweep)
 

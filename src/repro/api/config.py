@@ -621,6 +621,93 @@ class ServingConfig(_DictMixin):
 
 
 @dataclass(frozen=True)
+class ObjectiveConfig(_DictMixin):
+    """One sweep-analysis objective: a results-table column and a direction.
+
+    ``column`` names a column of the combined sweep table (grid paths or
+    ``report.*`` metrics, e.g. ``report.p99_latency_ms``); ``direction``
+    says which way wins (``min`` or ``max``).  Pairs of objectives define
+    the Pareto frontiers the analysis stage emits.
+    """
+
+    column: str
+    direction: str = "min"
+
+    def __post_init__(self) -> None:
+        _require(bool(self.column), "objective.column must be non-empty")
+        _require(
+            self.direction in ("min", "max"),
+            f"objective.direction must be 'min' or 'max', got {self.direction!r}",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObjectiveConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SweepConfig(_DictMixin):
+    """Sweep orchestration: the override grid plus how to run and analyze it.
+
+    ``grid`` maps dotted config paths to non-empty value lists (the cross
+    product is the cell set); ``workers`` sizes the multiprocessing pool
+    (1 = the byte-identical in-process serial path); ``output_dir`` makes
+    runs crash-tolerant/resumable by persisting per-cell results (the CLI's
+    ``--out`` overrides it); ``base_seed`` derives every cell's recorded
+    seed; ``objectives`` drive the Pareto stage (empty = the built-in
+    latency/drop-rate/cost triple).
+
+    For backward compatibility a bare ``{"dotted.path": [values, ...]}``
+    mapping — the original ``sweep`` section shape — is accepted anywhere a
+    ``SweepConfig`` is, and means "that grid with default orchestration".
+    """
+
+    grid: dict[str, list] = field(default_factory=dict)
+    workers: int = 1
+    output_dir: str | None = None
+    base_seed: int = 0
+    objectives: tuple[ObjectiveConfig, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.grid, dict), "sweep.grid must be a mapping")
+        for path, values in self.grid.items():
+            _require(
+                isinstance(values, (list, tuple)) and len(values) > 0,
+                f"sweep.grid[{path!r}] must be a non-empty list of values",
+            )
+        _require(self.workers >= 1, "sweep.workers must be >= 1")
+        _require(
+            all(isinstance(o, ObjectiveConfig) for o in self.objectives),
+            "sweep.objectives must be objective sections",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepConfig":
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        if data and not (set(data) & known):
+            # Legacy bare-grid form: every key is a dotted override path
+            # (dots make collision with section field names impossible).
+            return cls(grid={path: list(values) for path, values in data.items()})
+        _reject_unknown_keys(cls, data)
+        if "grid" in data:
+            data["grid"] = {
+                path: list(values) for path, values in data["grid"].items()
+            }
+        objectives = data.pop("objectives", None)
+        if objectives is not None:
+            data["objectives"] = tuple(
+                entry
+                if isinstance(entry, ObjectiveConfig)
+                else ObjectiveConfig.from_dict(entry)
+                for entry in objectives
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ExperimentConfig(_DictMixin):
     """A named experiment (registry name) plus builder options."""
 
@@ -650,9 +737,10 @@ class EngineConfig(_DictMixin):
     calibration and the server; ``ssim_thresholds`` maps a subset of those
     resolutions to calibrated read thresholds (absent resolutions read all
     scans).  ``serving`` and ``experiment`` are optional sections — a config
-    may describe either or both.  ``sweep`` maps dotted config paths (e.g.
-    ``"serving.cache.capacity_bytes"``) to lists of values for
-    :meth:`Engine.sweep`.
+    may describe either or both.  ``sweep`` is a :class:`SweepConfig`
+    (grid + workers + output dir + Pareto objectives) for
+    :meth:`Engine.sweep`; a bare ``{"dotted.path": [values]}`` mapping is
+    still accepted as the grid-only shorthand.
     """
 
     resolutions: tuple[int, ...] = (24, 32, 48)
@@ -664,7 +752,7 @@ class EngineConfig(_DictMixin):
     ssim_thresholds: dict[int, float] = field(default_factory=dict)
     serving: ServingConfig | None = None
     experiment: ExperimentConfig | None = None
-    sweep: dict[str, list] = field(default_factory=dict)
+    sweep: SweepConfig = field(default_factory=SweepConfig)
 
     def __post_init__(self) -> None:
         _require(bool(self.resolutions), "resolutions must be non-empty")
@@ -699,11 +787,14 @@ class EngineConfig(_DictMixin):
                 0.0 < threshold <= 1.0,
                 f"ssim_thresholds[{resolution}] must be in (0, 1], got {threshold}",
             )
-        for path, values in self.sweep.items():
-            _require(
-                isinstance(values, (list, tuple)) and len(values) > 0,
-                f"sweep[{path!r}] must be a non-empty list of values",
-            )
+        if isinstance(self.sweep, dict):
+            # Constructor convenience mirroring from_dict: a bare grid (or a
+            # plain section dict) normalizes into a SweepConfig.
+            object.__setattr__(self, "sweep", SweepConfig.from_dict(self.sweep))
+        _require(
+            isinstance(self.sweep, SweepConfig),
+            "sweep must be a SweepConfig section (or a bare grid mapping)",
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "EngineConfig":
@@ -723,9 +814,7 @@ class EngineConfig(_DictMixin):
                 int(resolution): float(threshold)
                 for resolution, threshold in thresholds.items()
             }
-        sweep = data.pop("sweep", None)
-        if sweep is not None:
-            data["sweep"] = {path: list(values) for path, values in sweep.items()}
+        data["sweep"] = _pop_section(data, "sweep", SweepConfig, SweepConfig())
         return cls(**data)
 
     def with_overrides(self, overrides: dict[str, Any]) -> "EngineConfig":

@@ -10,7 +10,8 @@ batching — and exposes three verbs:
   trace through the discrete-event simulator, returning an
   :class:`~repro.serving.metrics.SLOReport`;
 * :meth:`Engine.sweep` — re-run :meth:`serve` over a grid of dotted-path
-  config overrides (e.g. cache capacity, arrival rate).
+  config overrides (e.g. cache capacity, arrival rate), optionally across
+  a process pool with resumable per-cell results (:mod:`repro.sweep`).
 
 Everything is deterministic under the config's seeds: the same config
 produces byte-identical reports, which is what makes the CLI's output
@@ -22,7 +23,6 @@ and benchmark shims do this to serve one store under many policies).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, replace
 from typing import Sequence
 
@@ -385,31 +385,31 @@ class Engine:
         builder = EXPERIMENTS.get(name)
         return builder(self, options)
 
-    def sweep(self, param_grid: dict[str, list] | None = None) -> list[SweepPoint]:
-        """Serve every point of a dotted-path override grid, in a stable order."""
-        grid = dict(param_grid if param_grid is not None else self.config.sweep)
-        if not grid:
-            raise ValueError(
-                "no sweep grid: pass param_grid or add a 'sweep' section to the config"
-            )
-        paths = sorted(grid)
-        # Expensive pieces are shared across grid points unless an override
-        # actually changes how they are built.
-        shared_store = (
-            None if any(path.split(".")[0] == "store" for path in paths)
-            else self.build_store()
+    def sweep(
+        self,
+        param_grid: dict[str, list] | None = None,
+        *,
+        workers: int | None = None,
+        output_dir: str | None = None,
+    ) -> list[SweepPoint]:
+        """Serve every point of a dotted-path override grid, in a stable order.
+
+        Delegates to :class:`~repro.sweep.runner.SweepRunner`: ``workers``
+        (default: the config's ``sweep.workers``) sizes the multiprocessing
+        pool — 1 runs in-process with the historical shared-store fast path
+        and byte-identical results — and ``output_dir`` (default: the
+        config's ``sweep.output_dir``) persists one crash-tolerant result
+        file per cell, letting a killed sweep resume from completed cells.
+        """
+        from repro.sweep.runner import SweepRunner
+
+        section = self.config.sweep
+        grid = dict(param_grid if param_grid is not None else section.grid)
+        runner = SweepRunner(
+            self,
+            grid,
+            workers=section.workers if workers is None else workers,
+            output_dir=section.output_dir if output_dir is None else output_dir,
+            base_seed=section.base_seed,
         )
-        shared_backbone = (
-            None if any(path.split(".")[0] == "backbone" for path in paths)
-            else self.build_backbone()
-        )
-        points = []
-        for values in itertools.product(*(grid[path] for path in paths)):
-            overrides = dict(zip(paths, values))
-            engine = Engine(
-                self.config.with_overrides(overrides),
-                store=shared_store,
-                backbone=shared_backbone,
-            )
-            points.append(SweepPoint(overrides=overrides, report=engine.serve()))
-        return points
+        return runner.run()

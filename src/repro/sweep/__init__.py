@@ -1,0 +1,66 @@
+"""Sweep orchestration: parallel grid execution, columnar results, Pareto.
+
+The experiment-orchestration layer over the :class:`~repro.api.engine.Engine`
+facade, structured as a build → combine → analyze pipeline:
+
+* :mod:`repro.sweep.grid` — expand a dotted-path override grid into
+  deterministic :class:`~repro.sweep.grid.SweepCell` objects (stable
+  indices, per-cell seeds derived from the base seed);
+* :mod:`repro.sweep.runner` — :class:`~repro.sweep.runner.SweepRunner`
+  fans cells across a ``multiprocessing`` pool (serial ``workers=1``
+  fallback byte-identical to the historical in-process sweep), persisting
+  one crash-tolerant result file per cell so killed runs resume;
+* :mod:`repro.sweep.results` — the *combine* stage: fold per-cell files
+  into one tidy columnar :class:`~repro.sweep.results.ResultsTable`
+  (rows = cells, columns = overrides + flattened report fields) written
+  as CSV/JSONL;
+* :mod:`repro.sweep.analysis` — the *analysis* stage: cross-scenario
+  Pareto frontiers (via :mod:`repro.analysis.pareto`) and per-dimension
+  winner summaries over the combined table.
+
+Surfaced end-to-end as ``Engine.sweep(workers=..., output_dir=...)`` and
+``python -m repro sweep <config> --workers N --out DIR`` (with ``combine``
+and ``pareto`` as independently runnable sub-steps); see ``docs/sweeps.md``.
+"""
+
+from repro.sweep.analysis import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    default_objectives,
+    format_analysis,
+    pareto_analysis,
+    write_pareto,
+)
+from repro.sweep.grid import SweepCell, cell_seed, expand_grid
+from repro.sweep.results import (
+    ResultsTable,
+    combine_cells,
+    combine_output_dir,
+    combine_rows,
+    flatten_report,
+    load_table,
+    split_table,
+    write_table,
+)
+from repro.sweep.runner import SweepRunner
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "ResultsTable",
+    "SweepCell",
+    "SweepRunner",
+    "cell_seed",
+    "combine_cells",
+    "combine_output_dir",
+    "combine_rows",
+    "default_objectives",
+    "expand_grid",
+    "flatten_report",
+    "format_analysis",
+    "load_table",
+    "pareto_analysis",
+    "split_table",
+    "write_pareto",
+    "write_table",
+]

@@ -1,0 +1,297 @@
+"""The columnar results pipeline: per-cell files → one tidy table.
+
+A sweep run writes one JSON file per completed cell
+(``<out>/cells/cell_00042.json``: cell index, derived seed, overrides, and
+the kind-tagged :class:`~repro.api.reports.Report` dict).  The *combine*
+stage folds those files into a :class:`ResultsTable` — rows = cells,
+columns = cell metadata (``cell.index``, ``cell.seed``) + the flattened
+overrides (one column per dotted path) + the flattened report fields
+(``report.p99_latency_ms``, ``report.fleet.cache_hit_rate``, ...) — and
+writes it as both CSV and JSONL.  JSONL is the canonical, loss-free form
+(:func:`load_table` reads it back); CSV is a best-effort export for
+spreadsheet tooling.
+
+Flattening is kind-aware: nested report dicts flatten to dotted columns,
+lists (e.g. a fleet's per-shard reports) collapse to compact JSON strings,
+and a small set of derived metrics (``drop_rate`` and the fleet's
+convenience delegates) are materialized as top-level ``report.*`` columns
+so the same objective column name works across report kinds.
+
+``combine(split(table)) == table``: :func:`split_table` turns a table back
+into its row dicts and :func:`combine_rows` rebuilds an identical table,
+the property the sweep's crash-resume and the Pareto stage both lean on.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.api.reports import Report
+
+#: Subdirectory of a sweep output dir holding the per-cell result files.
+CELLS_DIRNAME = "cells"
+
+#: Metrics materialized as ``report.<name>`` columns even when the report
+#: kind nests them (fleet) or derives them from fields (drop rate).
+DERIVED_METRICS = (
+    "num_requests",
+    "dropped_requests",
+    "drop_rate",
+    "throughput_rps",
+    "p50_latency_ms",
+    "p95_latency_ms",
+    "p99_latency_ms",
+    "bytes_from_store",
+    "relative_bytes_saved",
+    "transfer_dollars",
+)
+
+_META_COLUMNS = ("cell.index", "cell.seed")
+
+
+def _scalar(value: Any) -> Any:
+    """Table-cell form of one value: scalars pass through, collections JSON-encode."""
+    if isinstance(value, (list, tuple)):
+        return json.dumps(list(value), sort_keys=True, separators=(",", ":"))
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return value
+
+
+def _flatten_into(out: dict, prefix: str, value: Any) -> None:
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _flatten_into(out, f"{prefix}.{key}", item)
+        return
+    out[prefix] = _scalar(value)
+
+
+def flatten_report(report: Report) -> dict[str, Any]:
+    """One report as flat ``report.*`` columns, derived metrics included."""
+    columns: dict[str, Any] = {}
+    _flatten_into(columns, "report", report.to_dict())
+    for name in DERIVED_METRICS:
+        column = f"report.{name}"
+        if column in columns:
+            continue
+        value = getattr(report, name, None)
+        if value is None and hasattr(report, "fleet"):
+            value = getattr(report.fleet, name, None)
+        if value is not None:
+            columns[column] = _scalar(value)
+    return columns
+
+
+def cell_payload(index: int, seed: int, overrides: dict, report: Report) -> dict:
+    """The JSON document one completed cell persists (and ships over IPC)."""
+    return {
+        "cell_index": index,
+        "cell_seed": seed,
+        "overrides": dict(overrides),
+        "report": report.to_dict(),
+    }
+
+
+def cell_row(payload: dict) -> dict[str, Any]:
+    """One cell payload as a flat table row."""
+    row: dict[str, Any] = {
+        "cell.index": payload["cell_index"],
+        "cell.seed": payload["cell_seed"],
+    }
+    for path, value in payload["overrides"].items():
+        row[path] = _scalar(value)
+    row.update(flatten_report(Report.from_dict(payload["report"])))
+    return row
+
+
+# ---------------------------------------------------------------------------
+# The table
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResultsTable:
+    """A tidy columnar sweep table: one row per cell, stable column order.
+
+    Columns order deterministically — cell metadata, then override paths
+    (sorted), then ``report.*`` columns (sorted) — and every row carries
+    every column (``None`` where a cell lacks a value), so two tables built
+    from the same cells compare equal regardless of completion order.
+    """
+
+    columns: tuple[str, ...]
+    rows: tuple[dict, ...]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def override_columns(self) -> list[str]:
+        """The grid-dimension columns (neither cell metadata nor report)."""
+        return [
+            column
+            for column in self.columns
+            if column not in _META_COLUMNS and not column.startswith("report.")
+        ]
+
+    def column_values(self, column: str) -> list[Any]:
+        if column not in self.columns:
+            raise KeyError(
+                f"no column {column!r}; known columns: {', '.join(self.columns)}"
+            )
+        return [row[column] for row in self.rows]
+
+    def to_csv(self, path: str | Path) -> None:
+        """Best-effort CSV export (``None`` → empty cell, bools → true/false)."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            for row in self.rows:
+                writer.writerow(
+                    [
+                        ""
+                        if row[column] is None
+                        else row[column]
+                        if isinstance(row[column], str)
+                        else json.dumps(row[column])
+                        for column in self.columns
+                    ]
+                )
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """Loss-free JSONL export: one row object per line, column order kept."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in self.rows:
+                handle.write(
+                    json.dumps({column: row[column] for column in self.columns})
+                )
+                handle.write("\n")
+
+
+def combine_rows(rows: Iterable[dict]) -> ResultsTable:
+    """Fold row dicts into one :class:`ResultsTable`.
+
+    The column set is the union of row keys in the canonical order; rows
+    sort by ``cell.index`` and are normalized to carry every column, which
+    makes the fold idempotent: ``combine_rows(split_table(t)) == t``.
+    """
+    rows = list(rows)
+    union: set[str] = set()
+    for row in rows:
+        union.update(row)
+    meta = [column for column in _META_COLUMNS if column in union]
+    reports = sorted(column for column in union if column.startswith("report."))
+    overrides = sorted(
+        column
+        for column in union
+        if column not in _META_COLUMNS and not column.startswith("report.")
+    )
+    columns = tuple([*meta, *overrides, *reports])
+    ordered = sorted(rows, key=lambda row: row.get("cell.index", 0))
+    return ResultsTable(
+        columns=columns,
+        rows=tuple(
+            {column: row.get(column) for column in columns} for row in ordered
+        ),
+    )
+
+
+def split_table(table: ResultsTable) -> list[dict]:
+    """A table back into independent row dicts (inverse of :func:`combine_rows`)."""
+    return [dict(row) for row in table.rows]
+
+
+def combine_cells(payloads: Iterable[dict]) -> ResultsTable:
+    """Fold per-cell payload documents into one table."""
+    return combine_rows(cell_row(payload) for payload in payloads)
+
+
+# ---------------------------------------------------------------------------
+# Output-directory plumbing
+# ---------------------------------------------------------------------------
+
+
+def cell_path(output_dir: str | Path, index: int) -> Path:
+    """Where cell ``index`` persists its result under ``output_dir``."""
+    return Path(output_dir) / CELLS_DIRNAME / f"cell_{index:05d}.json"
+
+
+def write_cell(output_dir: str | Path, payload: dict) -> Path:
+    """Atomically persist one cell payload (write-temp-then-rename).
+
+    Atomic replacement is what makes a killed run resumable: a cell file
+    either exists complete or not at all, never half-written.
+    """
+    path = cell_path(output_dir, payload["cell_index"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_suffix(f".tmp.{os.getpid()}")
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp, path)
+    return path
+
+
+def load_cell(path: str | Path) -> dict | None:
+    """One persisted cell payload, or ``None`` when missing/unparseable."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) or "cell_index" not in payload:
+        return None
+    return payload
+
+
+def load_cells(output_dir: str | Path) -> list[dict]:
+    """Every parseable cell payload under ``output_dir``, index-sorted."""
+    cells_dir = Path(output_dir) / CELLS_DIRNAME
+    payloads = []
+    for path in sorted(cells_dir.glob("cell_*.json")):
+        payload = load_cell(path)
+        if payload is not None:
+            payloads.append(payload)
+    return sorted(payloads, key=lambda payload: payload["cell_index"])
+
+
+def combine_output_dir(output_dir: str | Path) -> ResultsTable:
+    """The combine stage: fold ``<out>/cells/*.json`` into one table."""
+    payloads = load_cells(output_dir)
+    if not payloads:
+        raise FileNotFoundError(
+            f"no cell results under {Path(output_dir) / CELLS_DIRNAME}; "
+            "run the sweep first"
+        )
+    return combine_cells(payloads)
+
+
+def write_table(table: ResultsTable, output_dir: str | Path) -> dict[str, Path]:
+    """Write the combined table as CSV + JSONL; returns the paths by format."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "csv": directory / "results.csv",
+        "jsonl": directory / "results.jsonl",
+    }
+    table.to_csv(paths["csv"])
+    table.to_jsonl(paths["jsonl"])
+    return paths
+
+
+def load_table(output_dir: str | Path) -> ResultsTable:
+    """Read back the canonical ``results.jsonl`` of a combined sweep."""
+    path = Path(output_dir) / "results.jsonl"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path} does not exist; run the combine stage first "
+            "(python -m repro sweep combine --out DIR)"
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        rows = [json.loads(line) for line in handle if line.strip()]
+    return combine_rows(rows)

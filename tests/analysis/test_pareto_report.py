@@ -57,6 +57,48 @@ class TestFrontier:
         assert not is_pareto_optimal(ParetoPoint(2.5, 7.0), points)
 
 
+class TestFrontierEdgeCases:
+    def test_single_point_is_its_own_frontier(self):
+        point = ParetoPoint(cost=1.0, value=5.0, label="only")
+        assert pareto_frontier([point]) == [point]
+        assert is_pareto_optimal(point, [point])
+
+    def test_empty_input_yields_empty_frontier(self):
+        assert pareto_frontier([]) == []
+
+    def test_identical_points_all_survive(self):
+        # Exact duplicates cannot strictly dominate each other, so a tie
+        # keeps every tied point on the frontier (stable: no arbitrary pick).
+        points = [ParetoPoint(1.0, 5.0, "a"), ParetoPoint(1.0, 5.0, "b")]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["a", "b"]
+
+    def test_equal_cost_tie_broken_by_value(self):
+        points = [ParetoPoint(1.0, 5.0, "low"), ParetoPoint(1.0, 7.0, "high")]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["high"]
+
+    def test_equal_value_tie_broken_by_cost(self):
+        points = [ParetoPoint(2.0, 5.0, "dear"), ParetoPoint(1.0, 5.0, "cheap")]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["cheap"]
+
+    def test_frontier_ties_sorted_by_cost_then_value(self):
+        points = [
+            ParetoPoint(2.0, 9.0, "b"),
+            ParetoPoint(1.0, 5.0, "a1"),
+            ParetoPoint(1.0, 5.0, "a2"),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["a1", "a2", "b"]
+
+    def test_collinear_points_all_non_dominated(self):
+        # A degenerate "curve" where every point trades cost for value.
+        points = [ParetoPoint(float(c), float(c), str(c)) for c in range(5)]
+        frontier = pareto_frontier(points)
+        assert len(frontier) == 5
+
+
 class TestFormatTable:
     def test_contains_headers_and_values(self):
         text = format_table(["res", "acc"], [[112, 47.8], [224, 69.5]])

@@ -215,6 +215,91 @@ class TestInProcess:
         assert main(["run", str(bad)]) == 2
         assert "crop_ratio" in capsys.readouterr().err
 
+    def test_sweep_accepts_workers_and_out(self):
+        args = build_parser().parse_args(
+            ["sweep", "config.json", "--workers", "4", "--out", "results"]
+        )
+        assert args.workers == 4
+        assert args.out == "results"
+
+    def test_sweep_objective_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "pareto",
+                "--out",
+                "results",
+                "--objective",
+                "report.p99_latency_ms",
+                "--objective",
+                "report.accuracy=max",
+            ]
+        )
+        assert [(o.column, o.direction) for o in args.objective] == [
+            ("report.p99_latency_ms", "min"),
+            ("report.accuracy", "max"),
+        ]
+
+    def test_sweep_objective_rejects_bad_direction(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "pareto", "--objective", "report.accuracy=sideways"]
+            )
+
+    def test_sweep_combine_requires_out(self, capsys):
+        assert main(["sweep", "combine"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_sweep_pareto_on_an_uncombined_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", "pareto", "--out", str(tmp_path)]) == 2
+        assert "combine stage" in capsys.readouterr().err
+
+
+class TestSweepSubcommand:
+    def test_sweep_out_writes_cells_table_and_pareto(self, tmp_path):
+        out = tmp_path / "sweep"
+        result = run_cli(
+            "sweep",
+            str(CONFIG_DIR / "serving_admission.json"),
+            "--param",
+            "serving.cache.capacity_bytes=5000,300000",
+            "--out",
+            str(out),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "serving.cache.capacity_bytes" in result.stdout
+        cells = sorted(path.name for path in (out / "cells").glob("cell_*.json"))
+        assert cells == ["cell_00000.json", "cell_00001.json"]
+        rows = [
+            json.loads(line)
+            for line in (out / "results.jsonl").read_text().splitlines()
+        ]
+        assert [row["cell.index"] for row in rows] == [0, 1]
+        assert [row["serving.cache.capacity_bytes"] for row in rows] == [5000, 300000]
+        pareto = json.loads((out / "pareto.json").read_text())
+        assert pareto["num_cells"] == 2
+
+        # The sub-steps re-run standalone on the same directory.
+        combined = run_cli("sweep", "combine", "--out", str(out))
+        assert combined.returncode == 0, combined.stderr
+        assert "combined               2 cells" in combined.stdout
+        analysis = run_cli("sweep", "pareto", "--out", str(out), "--json")
+        assert analysis.returncode == 0, analysis.stderr
+        assert json.loads(analysis.stdout) == pareto
+
+    def test_sweep_workers_flag_matches_serial_output(self, tmp_path):
+        args = (
+            "sweep",
+            str(CONFIG_DIR / "serving_admission.json"),
+            "--param",
+            "serving.num_workers=1,2",
+        )
+        serial = run_cli(*args)
+        parallel = run_cli(*args, "--workers", "2")
+        assert serial.returncode == 0, serial.stderr
+        assert parallel.returncode == 0, parallel.stderr
+        assert parallel.stdout == serial.stdout
+
 
 class TestTelemetrySubcommands:
     def test_serve_with_telemetry_writes_the_dump_files(self, tmp_path):

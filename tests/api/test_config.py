@@ -11,10 +11,12 @@ from repro.api.config import (
     CacheConfig,
     EngineConfig,
     ExperimentConfig,
+    ObjectiveConfig,
     PolicyConfig,
     PrefetchConfig,
     ServingConfig,
     StoreConfig,
+    SweepConfig,
 )
 
 
@@ -127,6 +129,65 @@ class TestEngineConfigValidation:
     def test_empty_sweep_values(self):
         with pytest.raises(ValueError, match="sweep"):
             EngineConfig(sweep={"serving.num_workers": []})
+
+
+class TestSweepConfig:
+    def test_bare_grid_dict_normalizes_into_the_section(self):
+        config = EngineConfig(sweep={"serving.num_workers": [1, 2]})
+        assert isinstance(config.sweep, SweepConfig)
+        assert config.sweep.grid == {"serving.num_workers": [1, 2]}
+        assert config.sweep.workers == 1
+
+    def test_legacy_bare_grid_from_dict(self):
+        config = EngineConfig.from_dict(
+            {"sweep": {"serving.cache.capacity_bytes": [1000, 2000]}}
+        )
+        assert config.sweep.grid == {"serving.cache.capacity_bytes": [1000, 2000]}
+
+    def test_full_section_from_dict(self):
+        config = EngineConfig.from_dict(
+            {
+                "sweep": {
+                    "grid": {"serving.num_workers": [1, 2]},
+                    "workers": 3,
+                    "output_dir": "results/grid",
+                    "base_seed": 5,
+                    "objectives": [{"column": "report.accuracy", "direction": "max"}],
+                }
+            }
+        )
+        assert config.sweep.workers == 3
+        assert config.sweep.output_dir == "results/grid"
+        assert config.sweep.base_seed == 5
+        assert config.sweep.objectives == (
+            ObjectiveConfig(column="report.accuracy", direction="max"),
+        )
+
+    def test_section_round_trips(self):
+        config = EngineConfig.from_dict(
+            {
+                "sweep": {
+                    "grid": {"serving.num_workers": [1, 2]},
+                    "workers": 2,
+                    "objectives": [{"column": "report.drop_rate"}],
+                }
+            }
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="sweep.workers"):
+            SweepConfig(workers=0)
+
+    def test_objective_direction_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            ObjectiveConfig(column="report.accuracy", direction="sideways")
+
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown SweepConfig field"):
+            EngineConfig.from_dict(
+                {"sweep": {"grid": {"a.b": [1]}, "workerz": 2}}
+            )
 
 
 class TestSectionValidation:

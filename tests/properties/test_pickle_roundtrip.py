@@ -1,0 +1,135 @@
+"""Pickle- and dict-round-trip safety for the objects sweeps ship over IPC.
+
+The parallel sweep runner moves work between processes, so every object on
+that path — reports, sweep points, cells, tables — must survive
+``pickle.loads(pickle.dumps(x)) == x`` (what ``multiprocessing`` does to
+results) and the JSON-dict round trip the per-cell files use.
+"""
+
+import pickle
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.engine import SweepPoint
+from repro.api.reports import Report
+from repro.serving.fleet import FleetReport, ShardReport
+from repro.serving.metrics import SLOReport
+from repro.sweep.grid import SweepCell
+from repro.sweep.results import combine_cells, cell_payload
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_counts = st.integers(min_value=0, max_value=10_000)
+_times = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+_rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def slo_reports(draw):
+    num_requests = draw(st.integers(min_value=1, max_value=10_000))
+    maybe = lambda strategy: draw(st.one_of(st.none(), strategy))  # noqa: E731
+    return SLOReport(
+        num_requests=num_requests,
+        duration_s=draw(_times),
+        throughput_rps=draw(_times),
+        mean_latency_ms=maybe(_times),
+        p50_latency_ms=maybe(_times),
+        p95_latency_ms=maybe(_times),
+        p99_latency_ms=maybe(_times),
+        mean_queue_wait_ms=maybe(_times),
+        mean_batch_size=maybe(_times),
+        accuracy=maybe(_rates),
+        bytes_from_store=draw(_counts),
+        bytes_from_cache=draw(_counts),
+        baseline_bytes=draw(_counts),
+        bytes_saved=draw(_counts),
+        relative_bytes_saved=draw(_rates),
+        transfer_seconds=draw(_times),
+        transfer_dollars=draw(_times),
+        cache_hit_rate=maybe(_rates),
+        degraded_requests=draw(_counts),
+        resolution_histogram=draw(
+            st.dictionaries(st.sampled_from([24, 32, 48]), _counts, max_size=3)
+        ),
+        dropped_requests=draw(_counts),
+    )
+
+
+@st.composite
+def fleet_reports(draw):
+    shards = tuple(
+        ShardReport(shard_id=shard_id, num_requests=report.num_requests, report=report)
+        for shard_id, report in enumerate(
+            draw(st.lists(slo_reports(), min_size=1, max_size=3))
+        )
+    )
+    return FleetReport(
+        num_shards=len(shards),
+        shards=shards,
+        fleet=draw(slo_reports()),
+        load_imbalance=draw(st.floats(min_value=1.0, max_value=4.0, allow_nan=False)),
+        idle_shards=draw(st.integers(min_value=0, max_value=2)),
+    )
+
+
+_reports = st.one_of(slo_reports(), fleet_reports())
+
+_override_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    st.sampled_from(["scan-lru", "ewma", "none"]),
+    st.booleans(),
+)
+_overrides = st.dictionaries(
+    st.sampled_from(
+        [
+            "serving.cache.capacity_bytes",
+            "serving.num_workers",
+            "serving.admission.name",
+            "store.seed",
+        ]
+    ),
+    _override_values,
+    min_size=1,
+    max_size=3,
+)
+
+
+class TestReportRoundTrips:
+    @given(_reports)
+    @settings(**_SETTINGS)
+    def test_pickle_roundtrip_preserves_equality(self, report):
+        assert pickle.loads(pickle.dumps(report)) == report
+
+    @given(_reports)
+    @settings(**_SETTINGS)
+    def test_dict_roundtrip_preserves_equality(self, report):
+        assert Report.from_dict(report.to_dict()) == report
+
+
+class TestSweepObjectRoundTrips:
+    @given(_overrides, _reports)
+    @settings(**_SETTINGS)
+    def test_sweep_point_pickle_roundtrip(self, overrides, report):
+        point = SweepPoint(overrides=overrides, report=report)
+        assert pickle.loads(pickle.dumps(point)) == point
+
+    @given(st.integers(min_value=0, max_value=1000), _overrides)
+    @settings(**_SETTINGS)
+    def test_sweep_cell_pickle_roundtrip(self, index, overrides):
+        cell = SweepCell(index=index, overrides=overrides, seed=index * 7)
+        assert pickle.loads(pickle.dumps(cell)) == cell
+
+    @given(st.lists(_reports, min_size=1, max_size=4))
+    @settings(**_SETTINGS)
+    def test_results_table_pickle_roundtrip(self, reports):
+        table = combine_cells(
+            cell_payload(index, index, {"a.x": index}, report)
+            for index, report in enumerate(reports)
+        )
+        assert pickle.loads(pickle.dumps(table)) == table

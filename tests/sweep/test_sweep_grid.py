@@ -1,0 +1,57 @@
+"""Grid expansion: stable cell ordering, derived seeds, validation."""
+
+import pytest
+
+from repro.sweep.grid import SweepCell, cell_seed, expand_grid
+
+
+class TestCellSeed:
+    def test_deterministic(self):
+        assert cell_seed(0, 0) == cell_seed(0, 0)
+        assert cell_seed(7, 12) == cell_seed(7, 12)
+
+    def test_distinct_across_cells_and_bases(self):
+        seeds = {cell_seed(base, index) for base in range(4) for index in range(64)}
+        assert len(seeds) == 4 * 64
+
+    def test_positive_and_63_bit(self):
+        for index in range(100):
+            seed = cell_seed(3, index)
+            assert 0 <= seed < 2**63
+
+
+class TestExpandGrid:
+    def test_empty_grid_raises_legacy_message(self):
+        with pytest.raises(ValueError, match="no sweep grid"):
+            expand_grid({})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="non-empty list"):
+            expand_grid({"a.b": []})
+
+    def test_scalar_values_rejected(self):
+        with pytest.raises(ValueError, match="non-empty list"):
+            expand_grid({"a.b": 3})
+
+    def test_insertion_order_does_not_matter(self):
+        forward = expand_grid({"a.x": [1, 2], "b.y": [3, 4]})
+        backward = expand_grid({"b.y": [3, 4], "a.x": [1, 2]})
+        assert forward == backward
+
+    def test_last_sorted_path_varies_fastest(self):
+        cells = expand_grid({"b.y": [3, 4], "a.x": [1, 2]})
+        assert [cell.overrides for cell in cells] == [
+            {"a.x": 1, "b.y": 3},
+            {"a.x": 1, "b.y": 4},
+            {"a.x": 2, "b.y": 3},
+            {"a.x": 2, "b.y": 4},
+        ]
+        assert [cell.index for cell in cells] == [0, 1, 2, 3]
+
+    def test_cells_carry_derived_seeds(self):
+        cells = expand_grid({"a.x": [1, 2]}, base_seed=9)
+        assert [cell.seed for cell in cells] == [cell_seed(9, 0), cell_seed(9, 1)]
+
+    def test_single_dimension_single_value(self):
+        cells = expand_grid({"a.x": [5]})
+        assert cells == [SweepCell(index=0, overrides={"a.x": 5}, seed=cell_seed(0, 0))]

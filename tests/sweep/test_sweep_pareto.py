@@ -1,0 +1,155 @@
+"""The sweep analysis stage: objectives, frontiers, winners, persistence."""
+
+import json
+
+import pytest
+
+from repro.sweep.analysis import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    default_objectives,
+    format_analysis,
+    pareto_analysis,
+    write_pareto,
+)
+from repro.sweep.results import combine_rows
+
+
+def make_table(cells):
+    """Rows from ``(p99, drop_rate, dollars, admission)`` tuples."""
+    rows = []
+    for index, (p99, drop, dollars, admission) in enumerate(cells):
+        rows.append(
+            {
+                "cell.index": index,
+                "cell.seed": index,
+                "serving.admission.name": admission,
+                "report.p99_latency_ms": p99,
+                "report.drop_rate": drop,
+                "report.transfer_dollars": dollars,
+            }
+        )
+    return combine_rows(rows)
+
+
+class TestObjective:
+    def test_direction_validated(self):
+        with pytest.raises(ValueError, match="min.*max"):
+            Objective("report.p99_latency_ms", "down")
+
+    def test_column_required(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Objective("")
+
+    def test_better_respects_direction(self):
+        assert Objective("c", "min").better(1.0, 2.0)
+        assert not Objective("c", "min").better(2.0, 1.0)
+        assert Objective("c", "max").better(2.0, 1.0)
+
+    def test_defaults_match_the_declared_triple(self):
+        assert tuple(
+            (objective.column, objective.direction)
+            for objective in default_objectives()
+        ) == DEFAULT_OBJECTIVES
+
+
+class TestParetoAnalysis:
+    def test_pairwise_frontiers_cover_every_objective_pair(self):
+        table = make_table([(10.0, 0.0, 1.0, "a"), (20.0, 0.1, 2.0, "b")])
+        analysis = pareto_analysis(table)
+        pairs = {
+            (frontier["cost"]["column"], frontier["value"]["column"])
+            for frontier in analysis["frontiers"]
+        }
+        assert len(pairs) == 3  # C(3, 2) over the default triple
+
+    def test_dominated_cells_excluded_from_frontier(self):
+        # Cell 1 is worse on both axes of the (p99, drop) plane.
+        table = make_table([(10.0, 0.0, 1.0, "a"), (20.0, 0.1, 0.5, "b")])
+        analysis = pareto_analysis(
+            table,
+            [Objective("report.p99_latency_ms"), Objective("report.drop_rate")],
+        )
+        [frontier] = analysis["frontiers"]
+        assert [point["cell_index"] for point in frontier["points"]] == [0]
+
+    def test_tradeoff_cells_both_on_frontier(self):
+        table = make_table([(10.0, 0.2, 1.0, "a"), (20.0, 0.0, 1.0, "b")])
+        analysis = pareto_analysis(
+            table,
+            [Objective("report.p99_latency_ms"), Objective("report.drop_rate")],
+        )
+        [frontier] = analysis["frontiers"]
+        assert [point["cell_index"] for point in frontier["points"]] == [0, 1]
+
+    def test_max_direction_flips_the_axis(self):
+        table = make_table([(10.0, 0.2, 1.0, "a"), (20.0, 0.0, 1.0, "b")])
+        analysis = pareto_analysis(
+            table,
+            [
+                Objective("report.p99_latency_ms", "max"),
+                Objective("report.drop_rate", "max"),
+            ],
+        )
+        [frontier] = analysis["frontiers"]
+        # Maximizing both, the same trade-off pair survives (a dominated-in-max
+        # cell would be lower on both axes); sort order follows the flipped
+        # cost axis, so the higher-p99 cell leads.
+        assert [point["cell_index"] for point in frontier["points"]] == [1, 0]
+
+    def test_non_numeric_cells_skipped_and_counted(self):
+        table = make_table([(10.0, 0.0, 1.0, "a"), (None, 0.1, 2.0, "b")])
+        analysis = pareto_analysis(
+            table,
+            [Objective("report.p99_latency_ms"), Objective("report.drop_rate")],
+        )
+        [frontier] = analysis["frontiers"]
+        assert frontier["cells_considered"] == 1
+        assert frontier["cells_skipped"] == 1
+
+    def test_single_cell_degenerate_frontier(self):
+        table = make_table([(10.0, 0.0, 1.0, "a")])
+        analysis = pareto_analysis(table)
+        for frontier in analysis["frontiers"]:
+            assert [point["cell_index"] for point in frontier["points"]] == [0]
+
+    def test_winner_per_dimension_groups_values(self):
+        table = make_table(
+            [
+                (10.0, 0.0, 1.0, "ewma"),
+                (30.0, 0.0, 1.0, "ewma"),
+                (20.0, 0.0, 1.0, "always-admit"),
+            ]
+        )
+        analysis = pareto_analysis(table, [Objective("report.p99_latency_ms")])
+        [winner] = analysis["winners"]
+        assert winner["best"]["cell_index"] == 0
+        dimension = winner["by_dimension"]["serving.admission.name"]
+        assert dimension["winner"] == "ewma"
+        by_value = {entry["value"]: entry for entry in dimension["per_value"]}
+        assert by_value["ewma"]["cells"] == 2
+        assert by_value["ewma"]["best"] == 10.0
+        assert by_value["ewma"]["mean"] == pytest.approx(20.0)
+
+    def test_winner_with_no_usable_cells(self):
+        table = make_table([(None, 0.0, 1.0, "a")])
+        analysis = pareto_analysis(table, [Objective("report.p99_latency_ms")])
+        [winner] = analysis["winners"]
+        assert winner["best"] is None
+        assert winner["cells_skipped"] == 1
+
+
+class TestOutput:
+    def test_write_pareto_roundtrips_through_json(self, tmp_path):
+        table = make_table([(10.0, 0.0, 1.0, "a"), (20.0, 0.1, 2.0, "b")])
+        analysis = pareto_analysis(table)
+        path = write_pareto(analysis, tmp_path)
+        assert json.loads(path.read_text()) == json.loads(json.dumps(analysis))
+
+    def test_format_analysis_is_deterministic_text(self):
+        table = make_table([(10.0, 0.0, 1.0, "a"), (20.0, 0.1, 2.0, "b")])
+        analysis = pareto_analysis(table)
+        text = format_analysis(analysis)
+        assert text == format_analysis(pareto_analysis(table))
+        assert "objectives" in text and "winner" in text
+        assert "report.p99_latency_ms" in text

@@ -1,0 +1,209 @@
+"""The columnar results pipeline: flattening, combine/split, cell files."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serving.metrics import SLOReport
+from repro.sweep.results import (
+    ResultsTable,
+    cell_path,
+    cell_payload,
+    cell_row,
+    combine_cells,
+    combine_output_dir,
+    combine_rows,
+    flatten_report,
+    load_cell,
+    load_table,
+    split_table,
+    write_cell,
+    write_table,
+)
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+def make_report(**overrides) -> SLOReport:
+    """A small, fully-populated SLO report for table plumbing tests."""
+    fields = dict(
+        num_requests=10,
+        duration_s=0.5,
+        throughput_rps=20.0,
+        mean_latency_ms=4.0,
+        p50_latency_ms=3.5,
+        p95_latency_ms=7.0,
+        p99_latency_ms=9.0,
+        mean_queue_wait_ms=1.0,
+        mean_batch_size=2.0,
+        accuracy=0.75,
+        bytes_from_store=1000,
+        bytes_from_cache=500,
+        baseline_bytes=3000,
+        bytes_saved=1500,
+        relative_bytes_saved=0.5,
+        transfer_seconds=0.01,
+        transfer_dollars=1e-6,
+        cache_hit_rate=0.4,
+        degraded_requests=1,
+        resolution_histogram={24: 4, 48: 6},
+        dropped_requests=2,
+    )
+    fields.update(overrides)
+    return SLOReport(**fields)
+
+
+@st.composite
+def slo_reports(draw):
+    served = draw(st.integers(min_value=1, max_value=500))
+    dropped = draw(st.integers(min_value=0, max_value=100))
+    latency = draw(st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+    return make_report(
+        num_requests=served,
+        dropped_requests=dropped,
+        p99_latency_ms=latency,
+        throughput_rps=draw(st.floats(min_value=1.0, max_value=1e4, allow_nan=False)),
+        transfer_dollars=draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+    )
+
+
+class TestFlattenReport:
+    def test_scalar_fields_become_report_columns(self):
+        columns = flatten_report(make_report())
+        assert columns["report.num_requests"] == 10
+        assert columns["report.p99_latency_ms"] == 9.0
+        assert columns["report.kind"] == "slo"
+
+    def test_nested_dicts_flatten_to_dotted_columns(self):
+        columns = flatten_report(make_report())
+        assert columns["report.resolution_histogram.24"] == 4
+        assert columns["report.resolution_histogram.48"] == 6
+
+    def test_derived_drop_rate_materialized(self):
+        columns = flatten_report(make_report(num_requests=8, dropped_requests=2))
+        assert columns["report.drop_rate"] == pytest.approx(0.2)
+
+    def test_fleet_report_gets_unified_column_names(self):
+        from repro.serving.fleet import FleetReport, ShardReport
+
+        shard = ShardReport(shard_id=0, num_requests=10, report=make_report())
+        fleet = FleetReport(
+            num_shards=1,
+            shards=(shard,),
+            fleet=make_report(),
+            load_imbalance=1.0,
+            idle_shards=0,
+        )
+        columns = flatten_report(fleet)
+        assert columns["report.kind"] == "fleet"
+        # Delegated metrics surface under the same names an SLO run uses,
+        # transfer_dollars included (it has no delegate property).
+        assert columns["report.p99_latency_ms"] == 9.0
+        assert columns["report.transfer_dollars"] == pytest.approx(1e-6)
+
+
+class TestCombineSplit:
+    def _payloads(self, reports):
+        return [
+            cell_payload(index, 1000 + index, {"a.x": index}, report)
+            for index, report in enumerate(reports)
+        ]
+
+    def test_combine_orders_columns_canonically(self):
+        table = combine_cells(self._payloads([make_report(), make_report()]))
+        assert table.columns[0] == "cell.index"
+        assert table.columns[1] == "cell.seed"
+        assert table.columns[2] == "a.x"
+        assert all(column.startswith("report.") for column in table.columns[3:])
+        assert table.override_columns() == ["a.x"]
+
+    def test_combine_sorts_rows_by_cell_index(self):
+        payloads = self._payloads([make_report(), make_report()])
+        table = combine_cells(reversed(payloads))
+        assert [row["cell.index"] for row in table.rows] == [0, 1]
+
+    def test_missing_columns_normalized_to_none(self):
+        rows = [{"cell.index": 0, "a.x": 1}, {"cell.index": 1, "report.extra": 5}]
+        table = combine_rows(rows)
+        assert table.rows[0]["report.extra"] is None
+        assert table.rows[1]["a.x"] is None
+
+    def test_column_values_unknown_column_raises(self):
+        table = combine_rows([{"cell.index": 0}])
+        with pytest.raises(KeyError, match="no column"):
+            table.column_values("nope")
+
+    @given(st.lists(slo_reports(), min_size=1, max_size=6))
+    @settings(**_SETTINGS)
+    def test_combine_split_roundtrip(self, reports):
+        table = combine_cells(self._payloads(reports))
+        assert combine_rows(split_table(table)) == table
+
+    @given(st.lists(slo_reports(), min_size=1, max_size=6), st.randoms())
+    @settings(**_SETTINGS)
+    def test_combine_is_order_invariant(self, reports, random):
+        payloads = self._payloads(reports)
+        shuffled = list(payloads)
+        random.shuffle(shuffled)
+        assert combine_cells(shuffled) == combine_cells(payloads)
+
+
+class TestFiles:
+    def test_write_cell_then_load_cell_roundtrip(self, tmp_path):
+        payload = cell_payload(3, 99, {"a.x": 1}, make_report())
+        path = write_cell(tmp_path, payload)
+        assert path == cell_path(tmp_path, 3)
+        assert load_cell(path) == json.loads(json.dumps(payload))
+
+    def test_load_cell_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "cell_00000.json"
+        path.write_text("{not json")
+        assert load_cell(path) is None
+        path.write_text('{"valid": "json", "wrong": "shape"}')
+        assert load_cell(path) is None
+        assert load_cell(tmp_path / "missing.json") is None
+
+    def test_combine_output_dir_without_cells_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="run the sweep first"):
+            combine_output_dir(tmp_path)
+
+    def test_write_then_load_table_roundtrip(self, tmp_path):
+        payloads = [
+            cell_payload(index, index, {"a.x": index}, make_report())
+            for index in range(3)
+        ]
+        for payload in payloads:
+            write_cell(tmp_path, payload)
+        table = combine_output_dir(tmp_path)
+        paths = write_table(table, tmp_path)
+        assert paths["csv"].exists() and paths["jsonl"].exists()
+        assert load_table(tmp_path) == table
+
+    def test_load_table_before_combine_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="combine stage"):
+            load_table(tmp_path)
+
+    def test_csv_has_header_plus_one_line_per_cell(self, tmp_path):
+        table = combine_cells(
+            [cell_payload(index, index, {"a.x": index}, make_report()) for index in range(2)]
+        )
+        paths = write_table(table, tmp_path)
+        lines = paths["csv"].read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("cell.index,cell.seed,a.x,")
+
+
+class TestResultsTableCells:
+    def test_list_values_become_json_strings(self):
+        row = cell_row(cell_payload(0, 0, {"serving.resolutions": [24, 48]}, make_report()))
+        assert row["serving.resolutions"] == "[24,48]"
+
+    def test_dict_values_become_json_strings(self):
+        row = cell_row(cell_payload(0, 0, {"serving.cache": {"name": "scan-lru"}}, make_report()))
+        assert row["serving.cache"] == '{"name":"scan-lru"}'
