@@ -1,0 +1,105 @@
+"""Million-request fleet run: the fast core's headline throughput payoff.
+
+Drives ``examples/configs/serving_million.json`` — one million Poisson
+requests over a hot 8-key catalogue through a 4-shard fleet — and checks
+the fast core's scale claim against the frozen pre-fast-core loop speed in
+``benchmarks/baseline_pr6.json``: at least :data:`SPEEDUP_FLOOR` x its
+events/sec, measured with the same profiler.  The arrival stream, cursor
+merge, memoized pipeline stages and columnar records are exactly what a
+run this size exercises; the per-request numbers land in
+``benchmarks/output/million_scale.json``.
+
+A million requests take O(a minute) of wall clock, so the benchmark only
+runs with ``RUN_MILLION=1`` in the environment (the CI perf-gate job sets
+it); default collection skips it.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import OUTPUT_DIR, emit
+
+from repro.api import Engine
+from repro.api.config import ObservabilityConfig, load_config
+from dataclasses import replace
+
+CONFIG_PATH = OUTPUT_DIR.parent.parent / "examples" / "configs" / "serving_million.json"
+PR6_BASELINE_PATH = OUTPUT_DIR.parent / "baseline_pr6.json"
+
+#: Required completed requests and events/sec multiple over the PR6 loop.
+MIN_REQUESTS = 1_000_000
+SPEEDUP_FLOOR = 10.0
+
+
+@pytest.mark.skipif(
+    not os.environ.get("RUN_MILLION"),
+    reason="million-request run is minutes of wall clock; set RUN_MILLION=1",
+)
+def test_million_requests_at_fleet_scale():
+    config = load_config(str(CONFIG_PATH))
+    # Attach the profiler (metrics and tracing stay off: measure the loop,
+    # not telemetry) so events/sec is read the same way sim_speed reads it.
+    config = replace(
+        config,
+        serving=replace(
+            config.serving,
+            observability=ObservabilityConfig(metrics=False, tracing=False),
+        ),
+    )
+    engine = Engine(config)
+
+    build_start = time.perf_counter()
+    trace = engine.build_trace()
+    trace_seconds = time.perf_counter() - build_start
+    assert len(trace) >= MIN_REQUESTS
+
+    report = engine.serve(trace)
+    stats = engine.last_telemetry.profiler.stats()
+
+    assert report.num_requests + report.dropped_requests >= MIN_REQUESTS
+    assert report.dropped_requests == 0, "the config must stay under capacity"
+    assert stats.events_per_sec is not None
+
+    with open(PR6_BASELINE_PATH, encoding="utf-8") as handle:
+        pr6 = json.load(handle)
+    pr6_events_per_sec = max(row["events_per_sec"] for row in pr6.values())
+    floor = SPEEDUP_FLOOR * pr6_events_per_sec
+    assert stats.events_per_sec >= floor, (
+        f"fast core ran {stats.events_per_sec:,.0f} ev/s; the scale claim "
+        f"needs >= {SPEEDUP_FLOOR}x the PR6 loop's {pr6_events_per_sec:,.0f} ev/s"
+    )
+
+    result = {
+        "num_requests": report.num_requests,
+        "dropped_requests": report.dropped_requests,
+        "trace_seconds": round(trace_seconds, 3),
+        "events": stats.events,
+        "wall_seconds": round(stats.wall_seconds, 3),
+        "events_per_sec": round(stats.events_per_sec, 1),
+        "requests_per_sec": round(stats.requests_per_sec, 1),
+        "sim_seconds": round(stats.sim_seconds, 3),
+        "speedup_vs_pr6": round(stats.events_per_sec / pr6_events_per_sec, 1),
+        "p50_latency_ms": report.p50_latency_ms,
+        "p99_latency_ms": report.p99_latency_ms,
+        "load_imbalance": report.load_imbalance,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / "million_scale.json", "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(
+        "million_scale",
+        (
+            f"requests         {report.num_requests:,} (0 dropped)\n"
+            f"trace build      {trace_seconds:.2f} s (columnar stream)\n"
+            f"events           {stats.events:,} in {stats.wall_seconds:.1f} s wall\n"
+            f"events/sec       {stats.events_per_sec:,.0f} "
+            f"({result['speedup_vs_pr6']}x the PR6 loop)\n"
+            f"fleet p50/p99    {report.p50_latency_ms:.2f} / "
+            f"{report.p99_latency_ms:.2f} ms\n"
+            f"load imbalance   {report.load_imbalance:.2f}x"
+        ),
+    )

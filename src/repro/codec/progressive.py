@@ -64,6 +64,20 @@ class ProgressiveImage:
         """Fraction of the full file read when decoding ``num_scans`` scans."""
         return self.cumulative_bytes(num_scans) / self.total_bytes
 
+    def enable_decode_cache(self) -> None:
+        """Memoize :meth:`decode` per scan count (idempotent, opt-in).
+
+        Decoding is a pure function of ``(self, num_scans)``, so the cache
+        returns the exact array a fresh decode would produce — but holds
+        every requested prefix in memory, which is why serving (few, hot
+        keys) opts in and the bulk experiment paths (hundreds of large
+        images, each read once or twice) do not.  Cached arrays are marked
+        read-only so an accidental in-place edit fails loudly instead of
+        corrupting every later read.
+        """
+        if getattr(self, "_decode_cache", None) is None:
+            self._decode_cache: dict[int, np.ndarray] = {}
+
     def decode(self, num_scans: int | None = None) -> np.ndarray:
         """Reconstruct the RGB image from the first ``num_scans`` scans.
 
@@ -74,6 +88,12 @@ class ProgressiveImage:
             num_scans = self.num_scans
         if not 1 <= num_scans <= self.num_scans:
             raise ValueError(f"num_scans must be in [1, {self.num_scans}]")
+
+        cache = getattr(self, "_decode_cache", None)
+        if cache is not None:
+            cached = cache.get(num_scans)
+            if cached is not None:
+                return cached
 
         # Build a keep-mask over zigzag positions covered by the scan prefix.
         keep = np.zeros((BLOCK_SIZE, BLOCK_SIZE), dtype=bool)
@@ -98,7 +118,11 @@ class ProgressiveImage:
                 for plane in chroma_planes
             ]
         ycbcr = np.stack([luma, *chroma_planes], axis=-1)
-        return ycbcr_to_rgb(ycbcr)
+        rgb = ycbcr_to_rgb(ycbcr)
+        if cache is not None:
+            rgb.setflags(write=False)
+            cache[num_scans] = rgb
+        return rgb
 
 
 class ProgressiveEncoder:

@@ -28,6 +28,20 @@ class ResolutionPolicy:
     def select(self, image: np.ndarray) -> int:
         raise NotImplementedError
 
+    def select_cached(self, image: np.ndarray, token: object) -> int:
+        """Like :meth:`select`, with a memoization hint from the caller.
+
+        ``token`` is an opaque hashable key under which the *image* is
+        reproducible — the serving fast core passes ``(key, scans_read)``,
+        because decoding the same scan prefix of the same stored object
+        always yields the same pixels.  Policies whose per-image choice is
+        a pure function of the pixels may cache per token; policies with
+        request-dependent state (e.g. load-adaptive degradation) must keep
+        that state out of the memo.  The default just delegates, so the
+        fast core can call this unconditionally on any policy.
+        """
+        return self.select(image)
+
 
 @RESOLUTION_POLICIES.register("static")
 class StaticResolutionPolicy(ResolutionPolicy):
@@ -52,6 +66,7 @@ class DynamicResolutionPolicy(ResolutionPolicy):
         self.prefer_cheaper = prefer_cheaper
         self.name = "dynamic"
         self.last_probabilities: np.ndarray | None = None
+        self._select_memo: dict = {}
 
     def select(self, image: np.ndarray) -> int:
         resolution, probabilities = self.predictor.choose_resolution(
@@ -59,6 +74,21 @@ class DynamicResolutionPolicy(ResolutionPolicy):
         )
         self.last_probabilities = probabilities
         return resolution
+
+    def select_cached(self, image: np.ndarray, token: object) -> int:
+        """Memoized :meth:`select`: the scale model is a pure function of the
+        pixels, and the pixels are a pure function of the caller's token, so
+        repeated requests for the same stored prefix skip the forward pass.
+        ``last_probabilities`` is restored on hits exactly as a fresh call
+        would set it."""
+        hit = self._select_memo.get(token)
+        if hit is None:
+            resolution, probabilities = self.predictor.choose_resolution(
+                image, prefer_cheaper=self.prefer_cheaper
+            )
+            hit = self._select_memo[token] = (resolution, probabilities)
+        self.last_probabilities = hit[1]
+        return hit[0]
 
 
 @RESOLUTION_POLICIES.register("oracle")

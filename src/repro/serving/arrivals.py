@@ -84,6 +84,19 @@ class ArrivalProcess:
     def trace(self, keys: Sequence[str], num_requests: int) -> list[Request]:
         raise NotImplementedError
 
+    def stream(self, keys: Sequence[str], num_requests: int):
+        """The same trace in columnar form (an ``ArrivalStream``).
+
+        Value-identical to ``trace()`` arrival for arrival — subclasses that
+        override this to skip object materialization must draw the same
+        seeded RNG values in the same order.  The default simply
+        columnarizes ``trace()``, so every process supports both shapes.
+        """
+        # Local import: workload.py imports this module for the base class.
+        from repro.serving.workload import ArrivalStream
+
+        return ArrivalStream.from_requests(self.trace(keys, num_requests))
+
 
 @ARRIVALS.register("poisson")
 @dataclass(frozen=True)
@@ -108,6 +121,16 @@ class PoissonArrivals(ArrivalProcess):
             Request(request_id=i, key=chosen[i], arrival_time=float(times[i]))
             for i in range(num_requests)
         ]
+
+    def stream(self, keys: Sequence[str], num_requests: int):
+        # Identical RNG draws to trace(), minus the per-arrival objects.
+        from repro.serving.workload import ArrivalStream
+
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.rate_rps, size=num_requests)
+        times = np.cumsum(gaps)
+        chosen = sample_keys(rng, keys, num_requests, self.zipf_alpha, self.popularity)
+        return ArrivalStream(times, chosen)
 
 
 @ARRIVALS.register("onoff")

@@ -37,12 +37,15 @@ import hashlib
 from dataclasses import dataclass, fields
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
 from repro.api.registry import ROUTERS
 from repro.api.reports import Report, report_type
 from repro.serving.arrivals import Request
 from repro.serving.cache import CacheStats
-from repro.serving.metrics import SLOReport, build_report
+from repro.serving.metrics import RequestRecords, SLOReport, build_report
 from repro.serving.server import InferenceServer
+from repro.serving.workload import ArrivalStream
 
 _HASH_BITS = 64
 _HASH_SPACE = 1 << _HASH_BITS
@@ -336,11 +339,33 @@ class ShardedFleet:
     def num_shards(self) -> int:
         return len(self.servers)
 
-    def partition(self, trace: Sequence[Request]) -> list[list[Request]]:
-        """Split a trace by routed key, preserving arrival order per shard."""
+    def partition(self, trace: Sequence[Request]) -> list[Sequence[Request]]:
+        """Split a trace by routed key, preserving arrival order per shard.
+
+        Routing is memoized per key (the ring hash is pure), and a columnar
+        :class:`~repro.serving.workload.ArrivalStream` partitions into
+        sub-streams by index — no per-request objects — so each shard's
+        fast core receives a cursor-mergeable stream.
+        """
+        route_of: dict[str, int] = {}
+
+        def route(key: str) -> int:
+            shard = route_of.get(key)
+            if shard is None:
+                shard = route_of[key] = self.router.route(key)
+            return shard
+
+        if isinstance(trace, ArrivalStream):
+            shard_of = np.fromiter(
+                (route(key) for key in trace.keys), dtype=np.int64, count=len(trace)
+            )
+            return [
+                trace.take(np.flatnonzero(shard_of == shard_id))
+                for shard_id in range(len(self.servers))
+            ]
         shards: list[list[Request]] = [[] for _ in self.servers]
         for request in trace:
-            shards[self.router.route(request.key)].append(request)
+            shards[route(request.key)].append(request)
         return shards
 
     def run(self, trace: Sequence[Request], telemetry_factory=None) -> FleetReport:
@@ -361,7 +386,7 @@ class ShardedFleet:
         self.last_telemetry = None
         pipelines = []
         shard_reports: list[ShardReport] = []
-        merged_served = []
+        active_servers: list[InferenceServer] = []
         store_requests = 0
         degraded = 0
         dropped = 0
@@ -384,7 +409,7 @@ class ShardedFleet:
             if pipeline is not None:
                 pipelines.append(pipeline)
             shard_reports.append(ShardReport(shard_id, report.num_requests, report))
-            merged_served.extend(server.last_served)
+            active_servers.append(server)
             store_requests += server.store_requests
             degraded += report.degraded_requests
             dropped += report.dropped_requests
@@ -393,6 +418,22 @@ class ShardedFleet:
             prefetch_wasted += report.prefetch_wasted_bytes
             if server.cache is not None:
                 cache_stats.append(server.cache.stats)
+
+        # Merge the shards' raw results.  When every active shard ran the
+        # fast core, concatenate their columnar records (build_report sorts
+        # by request id either way, so the fleet statistics are identical);
+        # any scalar-path shard falls the whole merge back to objects.
+        merged_served: "RequestRecords | list" = []
+        if active_servers and all(
+            server.last_records is not None for server in active_servers
+        ):
+            merged_served = RequestRecords()
+            for server in active_servers:
+                merged_served.extend(server.last_records)
+        else:
+            merged_served = []
+            for server in active_servers:
+                merged_served.extend(server.last_served)
 
         fleet = build_report(
             merged_served,

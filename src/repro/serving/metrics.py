@@ -12,6 +12,14 @@ deterministic runs can be compared with ``==``; they are also
 :class:`~repro.api.reports.Report` subclasses, so they serialize through
 the unified ``to_dict``/``from_dict`` schema the CLI and sweeps share.
 
+Million-request runs cannot afford one Python object per completion, so
+the server's fast core accumulates the same fourteen fields columnar in a
+:class:`RequestRecords` (typed ``array`` columns, zero per-request object
+churn).  :func:`build_report` accepts either representation and computes
+every statistic with the exact same IEEE-754 operations in the exact same
+order, so the two paths produce byte-identical reports — the property the
+golden-parity suite pins.
+
 An empty record list (every arrival dropped, or a zero-length run) is a
 well-defined report — zero requests, ``None`` percentiles — not an error:
 an admission policy that sheds all load is a legitimate outcome the
@@ -20,6 +28,7 @@ control plane must be able to describe.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -63,6 +72,149 @@ class ServedRequest:
         if self.label is None:
             return None
         return self.prediction == self.label
+
+
+class RequestRecords:
+    """Columnar accumulator for completed requests (the fast-core store).
+
+    Holds the same fourteen fields as :class:`ServedRequest`, one typed
+    ``array`` column per field instead of one frozen object per request —
+    appending a completion is fourteen C-level appends, and a million-
+    request run holds megabytes of flat buffers instead of a million
+    dataclass instances.  ``label`` uses ``-1`` as the ``None`` sentinel
+    (class labels are non-negative).
+
+    :func:`build_report` consumes the columns directly; :meth:`materialize`
+    rebuilds the equivalent :class:`ServedRequest` list for consumers that
+    want objects (tests, tracing assertions, the legacy fleet merge).
+    """
+
+    __slots__ = (
+        "request_ids",
+        "keys",
+        "arrival_times",
+        "ready_times",
+        "dispatch_times",
+        "completion_times",
+        "resolutions",
+        "scans_read",
+        "bytes_from_store",
+        "bytes_from_cache",
+        "total_bytes",
+        "batch_sizes",
+        "predictions",
+        "labels",
+    )
+
+    def __init__(self) -> None:
+        self.request_ids = array("q")
+        self.keys: list[str] = []
+        self.arrival_times = array("d")
+        self.ready_times = array("d")
+        self.dispatch_times = array("d")
+        self.completion_times = array("d")
+        self.resolutions = array("q")
+        self.scans_read = array("q")
+        self.bytes_from_store = array("q")
+        self.bytes_from_cache = array("q")
+        self.total_bytes = array("q")
+        self.batch_sizes = array("q")
+        self.predictions = array("q")
+        self.labels = array("q")
+
+    def __len__(self) -> int:
+        return len(self.request_ids)
+
+    def append(
+        self,
+        request_id: int,
+        key: str,
+        arrival_time: float,
+        ready_time: float,
+        dispatch_time: float,
+        completion_time: float,
+        resolution: int,
+        scans_read: int,
+        bytes_from_store: int,
+        bytes_from_cache: int,
+        total_bytes: int,
+        batch_size: int,
+        prediction: int,
+        label: int | None,
+    ) -> None:
+        """Record one completion (field-for-field a :class:`ServedRequest`)."""
+        self.request_ids.append(request_id)
+        self.keys.append(key)
+        self.arrival_times.append(arrival_time)
+        self.ready_times.append(ready_time)
+        self.dispatch_times.append(dispatch_time)
+        self.completion_times.append(completion_time)
+        self.resolutions.append(resolution)
+        self.scans_read.append(scans_read)
+        self.bytes_from_store.append(bytes_from_store)
+        self.bytes_from_cache.append(bytes_from_cache)
+        self.total_bytes.append(total_bytes)
+        self.batch_sizes.append(batch_size)
+        self.predictions.append(prediction)
+        self.labels.append(-1 if label is None else label)
+
+    def append_record(self, record: ServedRequest) -> None:
+        """Append an existing object record (used when merging mixed shards)."""
+        self.append(
+            record.request_id,
+            record.key,
+            record.arrival_time,
+            record.ready_time,
+            record.dispatch_time,
+            record.completion_time,
+            record.resolution,
+            record.scans_read,
+            record.bytes_from_store,
+            record.bytes_from_cache,
+            record.total_bytes,
+            record.batch_size,
+            record.prediction,
+            record.label,
+        )
+
+    def extend(self, other: "RequestRecords") -> None:
+        """Concatenate another accumulator's columns onto this one."""
+        self.request_ids.extend(other.request_ids)
+        self.keys.extend(other.keys)
+        self.arrival_times.extend(other.arrival_times)
+        self.ready_times.extend(other.ready_times)
+        self.dispatch_times.extend(other.dispatch_times)
+        self.completion_times.extend(other.completion_times)
+        self.resolutions.extend(other.resolutions)
+        self.scans_read.extend(other.scans_read)
+        self.bytes_from_store.extend(other.bytes_from_store)
+        self.bytes_from_cache.extend(other.bytes_from_cache)
+        self.total_bytes.extend(other.total_bytes)
+        self.batch_sizes.extend(other.batch_sizes)
+        self.predictions.extend(other.predictions)
+        self.labels.extend(other.labels)
+
+    def materialize(self) -> list[ServedRequest]:
+        """The equivalent :class:`ServedRequest` objects, in append order."""
+        return [
+            ServedRequest(
+                request_id=self.request_ids[i],
+                key=self.keys[i],
+                arrival_time=self.arrival_times[i],
+                ready_time=self.ready_times[i],
+                dispatch_time=self.dispatch_times[i],
+                completion_time=self.completion_times[i],
+                resolution=self.resolutions[i],
+                scans_read=self.scans_read[i],
+                bytes_from_store=self.bytes_from_store[i],
+                bytes_from_cache=self.bytes_from_cache[i],
+                total_bytes=self.total_bytes[i],
+                batch_size=self.batch_sizes[i],
+                prediction=self.predictions[i],
+                label=None if self.labels[i] < 0 else self.labels[i],
+            )
+            for i in range(len(self))
+        ]
 
 
 @report_type("slo")
@@ -180,7 +332,7 @@ def _percentile_ms(latencies: np.ndarray, q: float) -> float:
 
 
 def build_report(
-    served: Sequence[ServedRequest],
+    served: "Sequence[ServedRequest] | RequestRecords",
     bandwidth: StorageBandwidthModel,
     store_requests: int,
     cache_stats: CacheStats | None = None,
@@ -197,7 +349,23 @@ def build_report(
     separately from the bytes moved.  An empty ``served`` sequence — every
     arrival dropped, or nothing offered — yields the well-defined empty
     report (zero requests, ``None`` percentiles) rather than raising.
+
+    ``served`` may be a columnar :class:`RequestRecords` instead of an
+    object sequence; the statistics come out byte-identical (same IEEE-754
+    operations over the same values in the same request-id order).
     """
+    if isinstance(served, RequestRecords) and served:
+        return _build_report_columnar(
+            served,
+            bandwidth=bandwidth,
+            store_requests=store_requests,
+            cache_stats=cache_stats,
+            degraded_requests=degraded_requests,
+            dropped_requests=dropped_requests,
+            prefetch_bytes=prefetch_bytes,
+            prefetch_hits=prefetch_hits,
+            prefetch_wasted_bytes=prefetch_wasted_bytes,
+        )
     if not served:
         # Even with nothing served, prefetch GETs may have moved bytes.
         transfer = bandwidth.estimate(prefetch_bytes, num_requests=store_requests)
@@ -263,6 +431,92 @@ def build_report(
         p99_latency_ms=_percentile_ms(latencies, 99),
         mean_queue_wait_ms=float(waits.mean() * 1e3),
         mean_batch_size=float(np.mean([r.batch_size for r in ordered])),
+        accuracy=accuracy,
+        bytes_from_store=bytes_from_store,
+        bytes_from_cache=bytes_from_cache,
+        baseline_bytes=baseline_bytes,
+        bytes_saved=baseline_bytes - bytes_from_store,
+        relative_bytes_saved=(
+            1.0 - bytes_from_store / baseline_bytes if baseline_bytes > 0 else 0.0
+        ),
+        transfer_seconds=transfer.seconds,
+        transfer_dollars=transfer.dollars,
+        cache_hit_rate=cache_stats.hit_rate if cache_stats is not None else None,
+        degraded_requests=degraded_requests,
+        resolution_histogram=histogram,
+        dropped_requests=dropped_requests,
+        prefetch_bytes=prefetch_bytes,
+        prefetch_hits=prefetch_hits,
+        prefetch_wasted_bytes=prefetch_wasted_bytes,
+    )
+
+
+def _build_report_columnar(
+    records: RequestRecords,
+    bandwidth: StorageBandwidthModel,
+    store_requests: int,
+    cache_stats: CacheStats | None,
+    degraded_requests: int,
+    dropped_requests: int,
+    prefetch_bytes: int,
+    prefetch_hits: int,
+    prefetch_wasted_bytes: int,
+) -> SLOReport:
+    """The columnar twin of the object-path fold below ``build_report``.
+
+    Every statistic is computed with the same IEEE-754 operations over the
+    same float64/int64 values in the same request-id order as the object
+    path, so the two paths agree bit-for-bit; the only intentional
+    difference is the histogram's key order (ascending here, first-seen
+    there), which neither ``==`` nor the sorted-key JSON encoding can see.
+    Integer folds are exact in both representations, so only the ordered
+    float reductions (means, percentiles) need the stable argsort.
+    """
+    order = np.argsort(np.frombuffer(records.request_ids, dtype=np.int64), kind="stable")
+    arrivals = np.frombuffer(records.arrival_times, dtype=np.float64)[order]
+    completions = np.frombuffer(records.completion_times, dtype=np.float64)[order]
+    latencies = completions - arrivals
+    waits = (
+        np.frombuffer(records.dispatch_times, dtype=np.float64)
+        - np.frombuffer(records.ready_times, dtype=np.float64)
+    )[order]
+    duration = float(completions.max()) - float(arrivals.min())
+
+    labels = np.frombuffer(records.labels, dtype=np.int64)
+    predictions = np.frombuffer(records.predictions, dtype=np.int64)
+    labelled = labels >= 0
+    num_labelled = int(labelled.sum())
+    accuracy = (
+        100.0 * int((predictions[labelled] == labels[labelled]).sum()) / num_labelled
+        if num_labelled
+        else None
+    )
+
+    bytes_from_store = int(np.sum(np.frombuffer(records.bytes_from_store, dtype=np.int64)))
+    bytes_from_cache = int(np.sum(np.frombuffer(records.bytes_from_cache, dtype=np.int64)))
+    baseline_bytes = int(np.sum(np.frombuffer(records.total_bytes, dtype=np.int64)))
+    transfer = bandwidth.estimate(
+        bytes_from_store + prefetch_bytes, num_requests=store_requests
+    )
+
+    values, counts = np.unique(
+        np.frombuffer(records.resolutions, dtype=np.int64), return_counts=True
+    )
+    histogram = {int(value): int(count) for value, count in zip(values, counts)}
+
+    count = len(records)
+    return SLOReport(
+        num_requests=count,
+        duration_s=duration,
+        throughput_rps=count / duration if duration > 0 else float("inf"),
+        mean_latency_ms=float(latencies.mean() * 1e3),
+        p50_latency_ms=_percentile_ms(latencies, 50),
+        p95_latency_ms=_percentile_ms(latencies, 95),
+        p99_latency_ms=_percentile_ms(latencies, 99),
+        mean_queue_wait_ms=float(waits.mean() * 1e3),
+        mean_batch_size=float(
+            np.mean(np.frombuffer(records.batch_sizes, dtype=np.int64)[order])
+        ),
         accuracy=accuracy,
         bytes_from_store=bytes_from_store,
         bytes_from_cache=bytes_from_cache,

@@ -79,7 +79,14 @@ class LoadAdaptiveResolutionPolicy(ResolutionPolicy):
         return min(overload, self.max_degradation_steps)
 
     def select(self, image: np.ndarray) -> int:
-        choice = self.inner.select(image)
+        return self._degrade(self.inner.select(image))
+
+    def select_cached(self, image: np.ndarray, token: object) -> int:
+        """Memoize only the inner per-image choice; the degradation step
+        depends on the live queue depth and runs fresh for every request."""
+        return self._degrade(self.inner.select_cached(image, token))
+
+    def _degrade(self, choice: int) -> int:
         steps = self._degradation_steps()
         if steps == 0:
             return choice

@@ -1,4 +1,4 @@
-"""Workload realism: empirical trace replay and diurnal rate modulation.
+"""Workload realism and columnar arrival streams.
 
 The synthetic processes in :mod:`repro.serving.arrivals` answer "what if
 traffic were Poisson/bursty"; this module answers "what does *this*
@@ -14,15 +14,25 @@ production-like load do to the server":
   through the inverse of the envelope's cumulative intensity, so the base
   process's seed is the only randomness and runs stay deterministic.
 
-Both are registered in :data:`~repro.api.registry.ARRIVALS` and wired
-through the ``serving.arrivals`` config section (``trace_path``,
+It also defines :class:`ArrivalStream`, the columnar trace representation
+the event-loop fast core consumes: one float64 array of arrival times, one
+key list, one int64 id array, pre-generated with numpy instead of one
+``Request`` object per arrival.  A stream is still a ``Sequence[Request]``
+(items materialize lazily), so every legacy consumer keeps working; the
+fast paths (the server's cursor merge, the fleet's partition) read the
+arrays directly.  Every arrival process gains a ``stream()`` method that
+draws the *same* seeded RNG values as ``trace()``, so the two
+representations are value-identical arrival for arrival.
+
+Everything here is registered in :data:`~repro.api.registry.ARRIVALS` and
+wired through the ``serving.arrivals`` config section (``trace_path``,
 ``speedup``, ``diurnal``); see ``docs/serving.md`` for the full guide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -32,6 +42,90 @@ from repro.serving.traces import TraceRecord, load_trace
 
 #: Replay modes: stop at the end of the trace, or wrap around and keep going.
 REPLAY_MODES = ("truncate", "loop")
+
+
+class ArrivalStream(Sequence):
+    """A pre-generated open-loop trace in columnar form.
+
+    ``times`` (float64) and ``request_ids`` (int64) are numpy arrays;
+    ``keys`` is a list of store keys, index-aligned.  Client ids are always
+    ``None`` — closed-loop traffic cannot be pre-generated.  Indexing
+    materializes :class:`~repro.serving.arrivals.Request` objects with
+    exactly the values the object-path ``trace()`` would have produced, so
+    a stream drops into any ``Sequence[Request]`` consumer; the fast core
+    instead walks the arrays directly.
+    """
+
+    __slots__ = ("times", "keys", "request_ids", "_sorted")
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        keys: Sequence[str],
+        request_ids: np.ndarray | None = None,
+    ) -> None:
+        self.times = np.ascontiguousarray(times, dtype=np.float64)
+        self.keys = list(keys)
+        if len(self.keys) != len(self.times):
+            raise ValueError(
+                f"got {len(self.times)} arrival times but {len(self.keys)} keys"
+            )
+        if request_ids is None:
+            self.request_ids = np.arange(len(self.keys), dtype=np.int64)
+        else:
+            self.request_ids = np.ascontiguousarray(request_ids, dtype=np.int64)
+            if len(self.request_ids) != len(self.keys):
+                raise ValueError(
+                    f"got {len(self.keys)} arrivals but {len(self.request_ids)} ids"
+                )
+        self._sorted: bool | None = None
+
+    @classmethod
+    def from_requests(cls, trace: Sequence[Request]) -> "ArrivalStream":
+        """Columnarize an object trace (open-loop only: no client ids)."""
+        if any(request.client_id is not None for request in trace):
+            raise ValueError("closed-loop requests cannot join an ArrivalStream")
+        return cls(
+            np.array([request.arrival_time for request in trace], dtype=np.float64),
+            [request.key for request in trace],
+            np.array([request.request_id for request in trace], dtype=np.int64),
+        )
+
+    @property
+    def is_sorted(self) -> bool:
+        """Whether arrival times are non-decreasing (cached; the cursor-merge
+        precondition — unsorted streams fall back to the heap)."""
+        if self._sorted is None:
+            self._sorted = bool(np.all(np.diff(self.times) >= 0.0)) if len(self) > 1 else True
+        return self._sorted
+
+    def take(self, indices: np.ndarray) -> "ArrivalStream":
+        """The sub-stream at ``indices`` (order preserved, ids kept)."""
+        return ArrivalStream(
+            self.times[indices],
+            [self.keys[int(index)] for index in indices],
+            self.request_ids[indices],
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        return Request(
+            request_id=int(self.request_ids[index]),
+            key=self.keys[index],
+            arrival_time=float(self.times[index]),
+        )
+
+    def __iter__(self) -> Iterator[Request]:
+        for i in range(len(self)):
+            yield Request(
+                request_id=int(self.request_ids[i]),
+                key=self.keys[i],
+                arrival_time=float(self.times[i]),
+            )
 
 
 @ARRIVALS.register("replay")
@@ -93,7 +187,10 @@ class TraceReplayArrivals(ArrivalProcess):
             object.__setattr__(self, "_records_cache", cached)
         return list(cached)
 
-    def trace(self, keys: Sequence[str], num_requests: int) -> list[Request]:
+    def _replay_plan(
+        self, keys: Sequence[str], num_requests: int
+    ) -> tuple[int, float, list[TraceRecord]]:
+        """Validate and size a replay: (request count, loop period, records)."""
         if num_requests <= 0:
             raise ValueError("num_requests must be positive")
         records = self.load_records()
@@ -105,8 +202,7 @@ class TraceReplayArrivals(ArrivalProcess):
                 f"trace references {len(missing)} key(s) missing from the store "
                 f"(e.g. {preview}); record and replay must share a catalogue"
             )
-        first = records[0].timestamp
-        span = records[-1].timestamp - first
+        span = records[-1].timestamp - records[0].timestamp
         if self.mode == "truncate":
             count = min(num_requests, len(records))
         else:
@@ -116,7 +212,10 @@ class TraceReplayArrivals(ArrivalProcess):
         # Each loop pass is shifted by span + the mean inter-arrival gap, so
         # the last arrival of one pass strictly precedes the first of the next.
         mean_gap = span / (len(records) - 1) if len(records) > 1 else 1.0
-        period = span + mean_gap
+        return count, span + mean_gap, records
+
+    def trace(self, keys: Sequence[str], num_requests: int) -> list[Request]:
+        count, period, records = self._replay_plan(keys, num_requests)
         requests = []
         for index in range(count):
             cycle, offset = divmod(index, len(records))
@@ -130,6 +229,16 @@ class TraceReplayArrivals(ArrivalProcess):
                 )
             )
         return requests
+
+    def stream(self, keys: Sequence[str], num_requests: int) -> "ArrivalStream":
+        # Same arithmetic as trace() — float64 elementwise ops commute with
+        # vectorization, so replayed timestamps are bit-identical.
+        count, period, records = self._replay_plan(keys, num_requests)
+        cycles, offsets = np.divmod(np.arange(count, dtype=np.int64), len(records))
+        base = np.array([record.timestamp for record in records], dtype=np.float64)
+        times = (base[offsets] + cycles * period) / self.speedup
+        record_keys = [record.key for record in records]
+        return ArrivalStream(times, [record_keys[int(offset)] for offset in offsets])
 
 
 @ARRIVALS.register("diurnal")
@@ -248,5 +357,15 @@ class DiurnalArrivals(ArrivalProcess):
             for request, time in zip(base_trace, warped)
         ]
 
+    def stream(self, keys: Sequence[str], num_requests: int) -> ArrivalStream:
+        # Warp the base stream's time column in place of per-object rebuilds;
+        # _warp is the same array op either way, so values are bit-identical.
+        base_stream = self.base.stream(keys, num_requests)
+        if len(base_stream) == 0:
+            return base_stream
+        return ArrivalStream(
+            self._warp(base_stream.times), base_stream.keys, base_stream.request_ids
+        )
 
-__all__ = ["REPLAY_MODES", "DiurnalArrivals", "TraceReplayArrivals"]
+
+__all__ = ["REPLAY_MODES", "ArrivalStream", "DiurnalArrivals", "TraceReplayArrivals"]

@@ -57,17 +57,16 @@ class ImageStore:
     total_bytes_read: int = 0
     total_bytes_stored: int = 0
     read_count: int = 0
+    #: When True, every stored object's decode is memoized per scan prefix.
+    #: Opt-in via :meth:`enable_decode_cache` — the serving fast core does;
+    #: bulk experiment stores (many images, each read once) should not.
+    decode_cache_enabled: bool = False
 
     # -- ingest ------------------------------------------------------------------
     def put(self, key: str, image: np.ndarray, label: int | None = None) -> StoredImage:
         """Encode and store an RGB image under ``key`` (overwrites silently)."""
         encoded = self.encoder.encode(image)
-        stored = StoredImage(key=key, encoded=encoded, label=label)
-        if key in self._objects:
-            self.total_bytes_stored -= self._objects[key].total_bytes
-        self._objects[key] = stored
-        self.total_bytes_stored += stored.total_bytes
-        return stored
+        return self.put_encoded(key, encoded, label=label)
 
     def put_encoded(self, key: str, encoded: ProgressiveImage, label: int | None = None) -> StoredImage:
         """Store an already-encoded image."""
@@ -76,7 +75,21 @@ class ImageStore:
             self.total_bytes_stored -= self._objects[key].total_bytes
         self._objects[key] = stored
         self.total_bytes_stored += stored.total_bytes
+        if self.decode_cache_enabled:
+            encoded.enable_decode_cache()
         return stored
+
+    def enable_decode_cache(self) -> None:
+        """Memoize every object's decode per scan prefix (idempotent).
+
+        Decoding is pure, so reads return exactly the pixels a fresh decode
+        would — this only trades memory (one array per requested prefix per
+        key) for the dominant share of read-path CPU.  Applies to already-
+        stored objects and to everything stored afterwards.
+        """
+        self.decode_cache_enabled = True
+        for stored in self._objects.values():
+            stored.encoded.enable_decode_cache()
 
     # -- queries ---------------------------------------------------------------
     def __contains__(self, key: str) -> bool:

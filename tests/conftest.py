@@ -15,6 +15,25 @@ from repro.data.profiles import CARS_LIKE, IMAGENET_LIKE
 from repro.imaging.synthetic import SceneSpec, render_scene
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Rewrite tests/golden/*.json from the current code instead of "
+            "diffing against it (use after an intentional report change; "
+            "review the diff before committing)"
+        ),
+    )
+
+
+@pytest.fixture()
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should rewrite the golden reports in place."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

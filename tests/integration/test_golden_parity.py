@@ -1,0 +1,123 @@
+"""Golden-parity differential harness for the example configurations.
+
+Every config under ``examples/configs`` that produces a report has its
+canonical ``--json`` output committed under ``tests/golden``; these tests
+re-run each config through the :class:`~repro.api.engine.Engine` and
+byte-compare against the pinned file.  This is the refactor gate for the
+event-loop fast core: the vectorized path (``fast_core`` on, the default)
+and the original scalar path (``fast_core`` off) must both reproduce the
+goldens exactly — any drift in a simulated value, a float reduction order,
+or the JSON encoding fails here with the first divergent report key named.
+
+To intentionally re-pin after a behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_parity.py \
+        --update-golden
+
+then review the resulting ``tests/golden`` diff before committing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.config import EngineConfig
+from repro.api.engine import Engine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CONFIG_DIR = REPO_ROOT / "examples" / "configs"
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+#: Configs whose report comes from ``run_experiment`` (no serving section).
+EXPERIMENT_CONFIGS = ("fig2", "table1")
+#: Configs whose report comes from ``serve`` (these exercise the fast core).
+SERVING_CONFIGS = (
+    "serving_admission",
+    "serving_bursty",
+    "serving_diurnal",
+    "serving_prefetch",
+    "serving_replay",
+    "serving_sharded",
+)
+ALL_CONFIGS = EXPERIMENT_CONFIGS + SERVING_CONFIGS
+
+
+def _render(name: str, fast_core: bool | None = None) -> str:
+    """One config's canonical report text (``to_json`` plus newline)."""
+    data = json.loads((CONFIG_DIR / f"{name}.json").read_text())
+    if fast_core is not None:
+        data["serving"]["fast_core"] = fast_core
+    engine = Engine(EngineConfig.from_dict(data))
+    if name in EXPERIMENT_CONFIGS:
+        report = engine.run_experiment()
+    else:
+        report = engine.serve()
+    return report.to_json() + "\n"
+
+
+def _first_divergence(expected, actual, path: str = "$") -> str:
+    """The path of the first differing key between two decoded reports."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                return f"{path}.{key} (unexpected key)"
+            if key not in actual:
+                return f"{path}.{key} (missing key)"
+            if expected[key] != actual[key]:
+                return _first_divergence(expected[key], actual[key], f"{path}.{key}")
+        return f"{path} (dicts equal but text differs)"
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            return f"{path} (length {len(expected)} != {len(actual)})"
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            if left != right:
+                return _first_divergence(left, right, f"{path}[{index}]")
+        return f"{path} (lists equal but text differs)"
+    return f"{path}: expected {expected!r}, got {actual!r}"
+
+
+def _assert_matches_golden(name: str, text: str, label: str) -> None:
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    expected = golden_path.read_text()
+    if text == expected:
+        return
+    divergence = _first_divergence(json.loads(expected), json.loads(text))
+    pytest.fail(
+        f"{name} ({label}) diverged from {golden_path.relative_to(REPO_ROOT)}\n"
+        f"first divergent key: {divergence}\n"
+        "If the change is intentional, re-pin with --update-golden and "
+        "review the diff."
+    )
+
+
+@pytest.mark.parametrize("name", ALL_CONFIGS)
+def test_report_matches_golden(name: str, update_golden: bool) -> None:
+    """The default (fast-core) path reproduces the pinned report exactly."""
+    text = _render(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        (GOLDEN_DIR / f"{name}.json").write_text(text)
+        return
+    _assert_matches_golden(name, text, "fast core")
+
+
+@pytest.mark.parametrize("name", SERVING_CONFIGS)
+def test_scalar_path_matches_golden(name: str, update_golden: bool) -> None:
+    """The differential scalar path (``fast_core`` off) agrees byte-for-byte.
+
+    Together with ``test_report_matches_golden`` this pins the two event
+    loops to each other *and* to the committed artifact, so a regression in
+    either path cannot hide behind the other.
+    """
+    if update_golden:
+        pytest.skip("goldens are pinned from the default path")
+    _assert_matches_golden(name, _render(name, fast_core=False), "scalar path")
+
+
+def test_every_golden_has_a_config() -> None:
+    """No stale golden files: each pinned report maps to a live config."""
+    pinned = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert pinned == set(ALL_CONFIGS)

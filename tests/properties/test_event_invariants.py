@@ -1,0 +1,269 @@
+"""Property-based invariants of the serving event loop, on both cores.
+
+The golden suite pins eight fixed configurations; hypothesis explores the
+traffic/batching parameter space around them and checks the properties no
+configuration may violate:
+
+* the fast core and the scalar core produce *equal* ``SLOReport`` objects
+  for the same traffic (the differential property the golden files sample);
+* ``stream()`` and ``trace()`` of every arrival process are value-identical
+  arrival for arrival;
+* observed event timestamps are non-decreasing within a run;
+* conservation: every arrival is either completed or dropped, exactly once;
+* every flushed batch respects ``max_batch_size``.
+
+Events are collected through a subscribed observer, which deliberately
+forces the fast core's emit path on — so the invariants hold with event
+elision disabled; the first property covers the fully-elided loop, where
+the report itself is the only observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codec.progressive import ProgressiveEncoder
+from repro.core.policies import StaticResolutionPolicy
+from repro.data.dataset import SyntheticDataset
+from repro.data.profiles import IMAGENET_LIKE
+from repro.nn.resnet import resnet_tiny
+from repro.serving.arrivals import OnOffArrivals, PoissonArrivals
+from repro.serving.batcher import LinearBatchCost
+from repro.serving.cache import ScanCache
+from repro.serving.events import (
+    BatchFlushed,
+    RequestArrived,
+    RequestCompleted,
+    RequestDropped,
+    ServerEvent,
+    ServerObserver,
+)
+from repro.serving.server import InferenceServer, ServerConfig
+from repro.serving.workload import ArrivalStream, DiurnalArrivals
+from repro.storage.policy import ScanReadPolicy
+from repro.storage.store import ImageStore
+
+RESOLUTIONS = (24, 32, 48)
+
+#: Shared store/backbone: rendering and encoding images dominates example
+#: runtime, so every hypothesis example reuses one small catalogue.  The
+#: scalar/fast differential builds its own stores (the decode cache is
+#: per-store state the two runs must not share).
+_FIXTURES: dict = {}
+
+
+def _profile():
+    profile = IMAGENET_LIKE
+    return type(profile)(
+        name="property-tiny",
+        num_classes=4,
+        storage_resolution_mean=72,
+        storage_resolution_std=6,
+        object_scale_mean=profile.object_scale_mean,
+        object_scale_std=profile.object_scale_std,
+        texture_weight=profile.texture_weight,
+        detail_sensitivity=profile.detail_sensitivity,
+    )
+
+
+def _samples():
+    if "samples" not in _FIXTURES:
+        dataset = SyntheticDataset(_profile(), size=6, seed=13)
+        _FIXTURES["samples"] = [
+            (f"img{sample.index}", sample.render(), sample.label) for sample in dataset
+        ]
+    return _FIXTURES["samples"]
+
+
+def _fresh_store() -> ImageStore:
+    store = ImageStore(encoder=ProgressiveEncoder(quality=85))
+    for key, image, label in _samples():
+        store.put(key, image, label=label)
+    return store
+
+
+def _backbone():
+    if "backbone" not in _FIXTURES:
+        _FIXTURES["backbone"] = resnet_tiny(num_classes=4, base_width=4, seed=0)
+    return _FIXTURES["backbone"]
+
+
+def _server(store: ImageStore, fast_core: bool, **config) -> InferenceServer:
+    defaults = dict(
+        resolutions=RESOLUTIONS,
+        scale_resolution=24,
+        num_workers=2,
+        max_batch_size=4,
+        max_wait_s=0.004,
+        fast_core=fast_core,
+    )
+    defaults.update(config)
+    return InferenceServer(
+        store,
+        _backbone(),
+        StaticResolutionPolicy(32),
+        ServerConfig(**defaults),
+        read_policy=ScanReadPolicy(),
+        cache=ScanCache(capacity_bytes=150_000),
+        batch_cost=LinearBatchCost(),
+    )
+
+
+class _Recorder(ServerObserver):
+    """Collect the raw event stream for invariant checks."""
+
+    def __init__(self) -> None:
+        self.events: list[ServerEvent] = []
+
+    def on_event(self, event: ServerEvent) -> None:
+        self.events.append(event)
+
+
+traffic = st.fixed_dictionaries(
+    {
+        "rate_rps": st.floats(min_value=50.0, max_value=3000.0),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "zipf_alpha": st.floats(min_value=0.0, max_value=1.5),
+        "num_requests": st.integers(min_value=1, max_value=48),
+    }
+)
+
+knobs = st.fixed_dictionaries(
+    {
+        "max_batch_size": st.integers(min_value=1, max_value=6),
+        "num_workers": st.integers(min_value=1, max_value=3),
+        "max_wait_s": st.floats(min_value=0.0, max_value=0.01),
+    }
+)
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(params=traffic, config=knobs)
+@_SETTINGS
+def test_fast_and_scalar_cores_agree(params, config) -> None:
+    """The differential property: both cores fold to equal SLO reports."""
+    process = PoissonArrivals(
+        rate_rps=params["rate_rps"],
+        seed=params["seed"],
+        zipf_alpha=params["zipf_alpha"],
+    )
+    reports = {}
+    for fast_core in (False, True):
+        store = _fresh_store()
+        keys = store.keys()
+        trace = (
+            process.stream(keys, params["num_requests"])
+            if fast_core
+            else process.trace(keys, params["num_requests"])
+        )
+        server = _server(store, fast_core, **config)
+        reports[fast_core] = server.run(trace)
+    assert reports[True] == reports[False]
+
+
+@given(params=traffic)
+@_SETTINGS
+def test_stream_matches_trace(params) -> None:
+    """``stream()`` materializes the exact requests ``trace()`` builds."""
+    keys = [key for key, _, _ in _samples()]
+    processes = [
+        PoissonArrivals(
+            rate_rps=params["rate_rps"],
+            seed=params["seed"],
+            zipf_alpha=params["zipf_alpha"],
+        ),
+        OnOffArrivals(
+            on_rate_rps=params["rate_rps"],
+            mean_on_s=0.05,
+            mean_off_s=0.1,
+            seed=params["seed"],
+            zipf_alpha=params["zipf_alpha"],
+        ),
+    ]
+    processes.append(DiurnalArrivals(base=processes[0], period_s=5.0, amplitude=0.4))
+    for process in processes:
+        stream = process.stream(keys, params["num_requests"])
+        assert isinstance(stream, ArrivalStream)
+        assert list(stream) == process.trace(keys, params["num_requests"])
+        assert stream.is_sorted
+
+
+@given(params=traffic, config=knobs)
+@_SETTINGS
+def test_event_stream_invariants(params, config) -> None:
+    """Ordering, conservation and batch bounds hold under observation."""
+    process = PoissonArrivals(
+        rate_rps=params["rate_rps"],
+        seed=params["seed"],
+        zipf_alpha=params["zipf_alpha"],
+    )
+    for fast_core in (False, True):
+        store = _fresh_store()
+        recorder = _Recorder()
+        server = _server(store, fast_core, **config)
+        server.subscribe(recorder)
+        trace = process.stream(store.keys(), params["num_requests"])
+        report = server.run(trace)
+
+        times = [event.time for event in recorder.events]
+        assert times == sorted(times), "events must be time-ordered"
+
+        arrivals = sum(1 for e in recorder.events if isinstance(e, RequestArrived))
+        completions = sum(
+            1 for e in recorder.events if isinstance(e, RequestCompleted)
+        )
+        drops = sum(1 for e in recorder.events if isinstance(e, RequestDropped))
+        assert arrivals == params["num_requests"]
+        assert arrivals == completions + drops
+        assert report.num_requests == completions
+        assert report.dropped_requests == drops
+
+        for event in recorder.events:
+            if isinstance(event, BatchFlushed):
+                assert 1 <= event.batch_size <= config["max_batch_size"]
+            if isinstance(event, RequestCompleted):
+                record = event.record
+                assert record.arrival_time <= record.ready_time
+                assert record.ready_time <= record.dispatch_time
+                assert record.dispatch_time <= record.completion_time
+
+        stats = server.cache.stats
+        assert stats.hits + stats.misses >= 0
+        assert report.num_requests == len(server.last_served)
+
+
+@pytest.mark.parametrize("fast_core", [False, True])
+def test_conservation_with_drops(fast_core: bool) -> None:
+    """Admission drops conserve requests on both cores (fixed heavy case)."""
+    from repro.serving.control import EwmaAdmissionController
+
+    store = _fresh_store()
+    server = InferenceServer(
+        store,
+        _backbone(),
+        StaticResolutionPolicy(32),
+        ServerConfig(
+            resolutions=RESOLUTIONS,
+            scale_resolution=24,
+            num_workers=1,
+            max_batch_size=2,
+            max_wait_s=0.002,
+            fast_core=fast_core,
+        ),
+        read_policy=ScanReadPolicy(),
+        batch_cost=LinearBatchCost(),
+        admission=EwmaAdmissionController(alpha=0.5, depth_threshold=2.0),
+    )
+    trace = PoissonArrivals(rate_rps=5000.0, seed=3, zipf_alpha=0.8).stream(
+        store.keys(), 80
+    )
+    report = server.run(trace)
+    assert report.dropped_requests > 0
+    assert report.num_requests + report.dropped_requests == 80

@@ -1,0 +1,213 @@
+"""Edge cases of the SLO fold: empty runs, single records, exact quantiles.
+
+``build_report`` now has two implementations — the object fold and the
+columnar fold over :class:`RequestRecords` — so every edge case is checked
+through both, and the two are pinned equal on the boundaries where float
+reductions are most fragile (exact percentile indices, single elements,
+all-identical populations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import (
+    RequestRecords,
+    ServedRequest,
+    build_report,
+)
+from repro.storage.bandwidth import StorageBandwidthModel
+
+BANDWIDTH = StorageBandwidthModel()
+
+
+def make_record(
+    request_id: int,
+    latency: float = 0.010,
+    label: int | None = 1,
+    prediction: int = 1,
+    batch_size: int = 2,
+    resolution: int = 32,
+) -> ServedRequest:
+    arrival = 0.001 * request_id
+    return ServedRequest(
+        request_id=request_id,
+        key=f"img{request_id % 4}",
+        arrival_time=arrival,
+        ready_time=arrival + latency * 0.4,
+        dispatch_time=arrival + latency * 0.5,
+        completion_time=arrival + latency,
+        resolution=resolution,
+        scans_read=2,
+        bytes_from_store=1000,
+        bytes_from_cache=200,
+        total_bytes=5000,
+        batch_size=batch_size,
+        prediction=prediction,
+        label=label,
+    )
+
+
+def columnar(records: list[ServedRequest]) -> RequestRecords:
+    columns = RequestRecords()
+    for record in records:
+        columns.append_record(record)
+    return columns
+
+
+def both_reports(records: list[ServedRequest], **kwargs):
+    kwargs.setdefault("bandwidth", BANDWIDTH)
+    kwargs.setdefault("store_requests", len(records))
+    return (
+        build_report(records, **kwargs),
+        build_report(columnar(records), **kwargs),
+    )
+
+
+class TestEmpty:
+    def test_empty_list_contract(self):
+        report = build_report([], bandwidth=BANDWIDTH, store_requests=0)
+        assert report.num_requests == 0
+        assert report.duration_s == 0.0
+        assert report.throughput_rps == 0.0
+        assert report.mean_latency_ms is None
+        assert report.p50_latency_ms is None
+        assert report.p95_latency_ms is None
+        assert report.p99_latency_ms is None
+        assert report.mean_batch_size is None
+        assert report.accuracy is None
+        assert report.resolution_histogram == {}
+
+    def test_empty_records_match_empty_list(self):
+        plain = build_report([], bandwidth=BANDWIDTH, store_requests=0)
+        columnar_report = build_report(
+            RequestRecords(), bandwidth=BANDWIDTH, store_requests=0
+        )
+        assert plain == columnar_report
+
+    def test_empty_run_still_prices_prefetch_bytes(self):
+        report = build_report(
+            [], bandwidth=BANDWIDTH, store_requests=3, prefetch_bytes=30_000
+        )
+        assert report.prefetch_bytes == 30_000
+        assert report.transfer_seconds > 0.0
+
+    def test_empty_report_formats(self):
+        report = build_report([], bandwidth=BANDWIDTH, store_requests=0)
+        assert "requests served        0" in report.format()
+
+
+class TestSingle:
+    def test_single_record_percentiles_collapse(self):
+        plain, cols = both_reports([make_record(0, latency=0.02)])
+        assert plain == cols
+        assert plain.num_requests == 1
+        # Every percentile of a one-element population is that element.
+        assert plain.p50_latency_ms == pytest.approx(20.0)
+        assert plain.p50_latency_ms == plain.p95_latency_ms == plain.p99_latency_ms
+        assert plain.mean_latency_ms == plain.p50_latency_ms
+        assert plain.mean_batch_size == 2.0
+
+    def test_single_unlabelled_record_has_no_accuracy(self):
+        plain, cols = both_reports([make_record(0, label=None)])
+        assert plain == cols
+        assert plain.accuracy is None
+
+
+class TestAccuracy:
+    def test_accuracy_none_when_no_labels(self):
+        records = [make_record(i, label=None) for i in range(5)]
+        plain, cols = both_reports(records)
+        assert plain == cols
+        assert plain.accuracy is None
+
+    def test_accuracy_over_labelled_subset_only(self):
+        records = [
+            make_record(0, label=1, prediction=1),
+            make_record(1, label=None, prediction=0),
+            make_record(2, label=2, prediction=0),
+            make_record(3, label=None, prediction=2),
+        ]
+        plain, cols = both_reports(records)
+        assert plain == cols
+        # One correct out of the two labelled records; None-labelled ignored.
+        assert plain.accuracy == pytest.approx(50.0)
+
+    def test_zero_correct_is_zero_not_none(self):
+        records = [make_record(i, label=1, prediction=0) for i in range(3)]
+        plain, cols = both_reports(records)
+        assert plain == cols
+        assert plain.accuracy == 0.0
+
+
+class TestQuantileBoundaries:
+    def test_exact_percentile_indices(self):
+        # 101 equally spaced latencies: every percentile lands exactly on a
+        # sample, so linear interpolation must return it with no blending.
+        records = [
+            make_record(i, latency=0.001 * (i + 1)) for i in range(101)
+        ]
+        plain, cols = both_reports(records)
+        assert plain == cols
+        assert plain.p50_latency_ms == pytest.approx(51.0)
+        assert plain.p95_latency_ms == pytest.approx(96.0)
+        assert plain.p99_latency_ms == pytest.approx(100.0)
+
+    def test_interpolation_between_samples(self):
+        # Two samples: p50 interpolates the midpoint (numpy linear method).
+        records = [make_record(0, latency=0.010), make_record(1, latency=0.030)]
+        plain, cols = both_reports(records)
+        assert plain == cols
+        assert plain.p50_latency_ms == pytest.approx(20.0)
+
+    def test_identical_latencies_are_degenerate(self):
+        # Latencies are recomputed as completion - arrival, so they agree
+        # with 5ms only to float precision — but every percentile of the
+        # (near-)constant population must collapse to the same few ulps.
+        records = [make_record(i, latency=0.005) for i in range(10)]
+        plain, cols = both_reports(records)
+        assert plain == cols
+        assert plain.p50_latency_ms == pytest.approx(5.0)
+        assert plain.p99_latency_ms == pytest.approx(plain.p50_latency_ms)
+
+
+class TestColumnarEquivalence:
+    def test_shuffled_append_order_is_sorted_by_request_id(self):
+        # build_report sorts by request id; a completion order scramble must
+        # not change a single reported bit on either path.
+        rng = np.random.default_rng(5)
+        records = [
+            make_record(
+                i,
+                latency=float(rng.uniform(0.001, 0.05)),
+                label=int(rng.integers(0, 3)),
+                prediction=int(rng.integers(0, 3)),
+                batch_size=int(rng.integers(1, 5)),
+                resolution=int(rng.choice([24, 32, 48])),
+            )
+            for i in range(37)
+        ]
+        shuffled = list(records)
+        rng.shuffle(shuffled)
+        plain_sorted, cols_sorted = both_reports(records)
+        plain_shuffled, cols_shuffled = both_reports(shuffled)
+        assert plain_sorted == plain_shuffled == cols_sorted == cols_shuffled
+
+    def test_materialize_round_trips(self):
+        records = [make_record(i, label=None if i % 3 else i) for i in range(9)]
+        assert columnar(records).materialize() == records
+
+    def test_extend_concatenates(self):
+        left = columnar([make_record(0), make_record(1)])
+        right = columnar([make_record(2)])
+        left.extend(right)
+        assert len(left) == 3
+        assert left.materialize()[-1] == make_record(2)
+
+    def test_label_sentinel_is_none_safe(self):
+        # -1 encodes None; a real label of 0 must survive the round trip.
+        record = make_record(0, label=0)
+        assert columnar([record]).materialize()[0].label == 0
+        unlabelled = make_record(1, label=None)
+        assert columnar([unlabelled]).materialize()[0].label is None
