@@ -35,6 +35,11 @@ Usage (``python -m repro ...``):
 * ``docs [--check]`` — regenerate ``docs/reference.md`` from the
   registries (``--check`` fails when the committed file is stale); always
   fails if any registered component is missing a docstring;
+* ``lint [--json] [--baseline PATH] [--update-baseline] [--root DIR]`` —
+  run the determinism/contract static analyzer (:mod:`repro.lint`) over
+  the repo tree; exits non-zero on any finding not covered by the
+  committed suppression baseline, printing ``path:line: rule-id`` lines;
+  ``--update-baseline`` atomically re-records the ledger instead;
 * ``list-components`` — print every registry and its registered names.
 
 All output is deterministic under the config's seeds, so runs are diffable.
@@ -372,6 +377,40 @@ def cmd_docs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.engine import LintEngine
+
+    root = args.root
+    baseline = args.baseline
+    if baseline is None:
+        # The committed ledger is the default when it exists, so a bare
+        # `python -m repro lint` matches what CI enforces.
+        from repro.lint.engine import default_root
+        from pathlib import Path
+
+        candidate = (Path(root) if root else default_root()) / "lint/baseline.json"
+        if candidate.is_file():
+            baseline = str(candidate)
+    engine = LintEngine(root=root, baseline=baseline)
+    if args.update_baseline:
+        if engine.baseline_path is None:
+            print(
+                "error: --update-baseline needs --baseline PATH (no committed "
+                "lint/baseline.json found)",
+                file=sys.stderr,
+            )
+            return 2
+        path = engine.update_baseline()
+        print(f"wrote {path}")
+        return 0
+    report = engine.run()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def cmd_list_components(args: argparse.Namespace) -> int:
     for key, registry in sorted(all_registries().items()):
         names = ", ".join(registry.names()) or "<none>"
@@ -544,6 +583,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail instead of writing when the committed file is stale",
     )
     docs.set_defaults(func=cmd_docs)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism/contract static analyzer over the repo tree",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="repository root to lint (default: the repo this install "
+        "was imported from)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppression ledger (default: <root>/lint/baseline.json when "
+        "it exists)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-record the ledger from the current tree (atomic, "
+        "deterministic write; preserves existing reason strings)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the LintReport through the unified Report JSON schema",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     list_components = commands.add_parser(
         "list-components", help="print every registry and its names"

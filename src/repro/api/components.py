@@ -11,6 +11,9 @@ from repro.api import experiments as _experiments  # noqa: F401
 from repro.core import policies as _core_policies  # noqa: F401
 from repro.data import profiles as _profiles  # noqa: F401
 from repro.hwsim import machine as _machine  # noqa: F401
+from repro.lint import contracts as _lint_contracts  # noqa: F401
+from repro.lint import determinism as _lint_determinism  # noqa: F401
+from repro.lint import pairing as _lint_pairing  # noqa: F401
 from repro.nn import mobilenet as _mobilenet  # noqa: F401
 from repro.nn import resnet as _resnet  # noqa: F401
 from repro.obs import metrics as _obs_metrics  # noqa: F401

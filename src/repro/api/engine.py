@@ -422,3 +422,22 @@ class Engine:
             base_seed=section.base_seed,
         )
         return runner.run()
+
+    def lint(
+        self,
+        root: str | None = None,
+        baseline: str | None = None,
+    ):
+        """Run the determinism/contract static analyzer over this repo tree.
+
+        ``root`` defaults to the repository this installation was imported
+        from; ``baseline`` points at a committed suppression ledger
+        (``lint/baseline.json``).  Returns the kind-tagged
+        :class:`~repro.lint.findings.LintReport` — ``report.ok`` is the
+        pass/fail verdict the CLI turns into an exit code.  Lint is a pure
+        function of the source tree: it needs no config sections and never
+        executes the code under analysis.
+        """
+        from repro.lint.engine import LintEngine
+
+        return LintEngine(root=root, baseline=baseline).run()

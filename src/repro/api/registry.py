@@ -136,6 +136,9 @@ EXPERIMENTS = Registry("experiment")
 #: Server event-stream observers (``repro.serving.events``, ``repro.obs``).
 OBSERVERS = Registry("observer")
 
+#: Static-analysis lint rules (``repro.lint``): name -> rule class.
+LINT_RULES = Registry("lint rule")
+
 
 def all_registries() -> dict[str, Registry]:
     """Every registry by a stable plural key (what ``list-components`` prints)."""
@@ -154,6 +157,7 @@ def all_registries() -> dict[str, Registry]:
         "profiles": PROFILES,
         "experiments": EXPERIMENTS,
         "observers": OBSERVERS,
+        "lint-rules": LINT_RULES,
     }
 
 

@@ -1,0 +1,151 @@
+"""The lint orchestrator: walk the tree, run every rule, apply the baseline.
+
+:class:`LintEngine` parses every Python file under ``<root>/src/repro``
+once, hands the shared :class:`~repro.lint.rules.LintContext` to every
+rule registered in :data:`~repro.api.registry.LINT_RULES`, and folds the
+findings into a :class:`~repro.lint.findings.LintReport`.  Files that do
+not parse produce a ``parse-error`` finding instead of crashing the pass —
+lint must work precisely when the code is broken.
+
+With a baseline (:class:`~repro.lint.findings.Baseline`), known-intentional
+findings are suppressed up to their committed occurrence counts and the
+report carries how many were absorbed and how many ledger entries went
+stale.  :meth:`LintEngine.update_baseline` re-records the ledger from the
+current tree, preserving existing reason strings, with an atomic
+deterministic write.
+
+Everything is deterministic: files walk in sorted order, rules run in
+sorted registry order, findings sort by location — two runs over one tree
+are byte-identical, which is what lets tests and CI compare output
+directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.api.registry import LINT_RULES
+
+# Importing the rule modules is what populates LINT_RULES, exactly like
+# repro.api.components does for the serving registries.
+from repro.lint import contracts as _contracts  # noqa: F401
+from repro.lint import determinism as _determinism  # noqa: F401
+from repro.lint import pairing as _pairing  # noqa: F401
+from repro.lint.findings import Baseline, Finding, LintReport
+from repro.lint.rules import LintContext, LintRule, ParsedModule
+
+#: The package subtree a lint run analyzes, relative to the repo root.
+SOURCE_PREFIX = "src/repro"
+
+
+def default_root() -> Path:
+    """The repo root this installation lints by default (…/src/repro/../..)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2]
+
+
+def parse_tree(root: str | Path) -> LintContext:
+    """Parse every ``src/repro`` Python file under ``root`` into a context.
+
+    Unparseable files still join the context-free bookkeeping: they are
+    reported by the engine as ``parse-error`` findings and excluded from
+    the rule passes (see :meth:`LintEngine.run`).
+    """
+    root = Path(root).resolve()
+    modules: list[ParsedModule] = []
+    for path in sorted((root / SOURCE_PREFIX).rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        relpath = path.relative_to(root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue  # the engine records a parse-error finding instead
+        modules.append(
+            ParsedModule(path=path, relpath=relpath, source=source, tree=tree)
+        )
+    return LintContext(root=root, modules=modules)
+
+
+class LintEngine:
+    """Run the registered rules over one repo tree, baseline-aware."""
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        baseline: str | Path | None = None,
+        rule_names: list[str] | None = None,
+    ) -> None:
+        self.root = Path(root).resolve() if root is not None else default_root()
+        self.baseline_path = Path(baseline) if baseline is not None else None
+        self.rule_names = (
+            sorted(rule_names) if rule_names is not None else LINT_RULES.names()
+        )
+
+    def _rules(self) -> list[LintRule]:
+        return [LINT_RULES.build(name) for name in self.rule_names]
+
+    def _parse_errors(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in sorted((self.root / SOURCE_PREFIX).rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            try:
+                ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            except SyntaxError as error:
+                findings.append(
+                    Finding(
+                        rule="parse-error",
+                        severity="error",
+                        path=path.relative_to(self.root).as_posix(),
+                        line=error.lineno or 1,
+                        message=f"file does not parse: {error.msg}",
+                        hint="fix the syntax error; no other rule can see "
+                        "this file until it parses",
+                    )
+                )
+        return findings
+
+    def collect(self) -> tuple[LintContext, list[Finding]]:
+        """All raw findings over the tree, before baseline suppression."""
+        context = parse_tree(self.root)
+        findings = self._parse_errors()
+        for rule in self._rules():
+            findings.extend(rule.check(context))
+        findings.sort(key=Finding.sort_key)
+        return context, findings
+
+    def run(self) -> LintReport:
+        """One full pass: parse, rule sweep, baseline, sorted report."""
+        context, findings = self.collect()
+        suppressed = 0
+        stale = 0
+        if self.baseline_path is not None:
+            baseline = Baseline.load(self.baseline_path)
+            findings, suppressed, stale = baseline.apply(findings)
+        return LintReport(
+            checked_files=len(context.modules),
+            rules=tuple(self.rule_names),
+            findings=tuple(findings),
+            suppressed=suppressed,
+            stale_baseline=stale,
+        )
+
+    def update_baseline(self, path: str | Path | None = None) -> Path:
+        """Re-record the suppression ledger from the current tree.
+
+        Every current finding becomes (or refreshes) an entry; reasons of
+        surviving entries are preserved, entries nothing matches any more
+        are pruned.  The write is atomic and deterministic — see
+        :meth:`~repro.lint.findings.Baseline.save`.
+        """
+        target = Path(path) if path is not None else self.baseline_path
+        if target is None:
+            raise ValueError("update_baseline needs a baseline path")
+        previous = Baseline.load(target)
+        reasons = {entry.key: entry.reason for entry in previous.entries}
+        _, findings = self.collect()
+        return Baseline.from_findings(findings, reasons=reasons).save(target)

@@ -1,0 +1,235 @@
+"""The rule engine's interfaces: parsed modules, the context, and the protocol.
+
+A lint rule is a registered component like any other: a class with a
+stable ``rule_id``, a severity, and a ``check(context)`` method yielding
+:class:`~repro.lint.findings.Finding`s, registered under
+:data:`~repro.api.registry.LINT_RULES` (``@LINT_RULES.register("...")``)
+so ``python -m repro docs`` catalogues it and custom rules plug in from
+outside the package.  Rules are pure functions of the parsed tree — they
+never import the code under analysis, so linting broken-at-import code
+still works and the pass stays deterministic.
+
+The :class:`LintContext` carries everything a rule may need: every parsed
+module under the root (``src/repro/**/*.py``), the repo root for
+non-Python artifacts (``docs/reference.md``, ``examples/configs``), and
+shared AST helpers (import-alias-normalized dotted call names, decorator
+matching) so rules stay small.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.lint.findings import Finding
+
+
+@dataclass
+class ParsedModule:
+    """One source file under analysis: location, text, and parsed tree."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    _aliases: dict[str, str] | None = field(default=None, repr=False)
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> canonical dotted origin, from this module's imports.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from time import
+        perf_counter as pc`` maps ``pc -> time.perf_counter``.  Used to
+        normalize call sites before matching banned names.
+        """
+        if self._aliases is None:
+            aliases: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for name in node.names:
+                        aliases[name.asname or name.name.split(".")[0]] = (
+                            name.name if name.asname else name.name.split(".")[0]
+                        )
+                elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                    for name in node.names:
+                        aliases[name.asname or name.name] = (
+                            f"{node.module}.{name.name}"
+                        )
+            self._aliases = aliases
+        return self._aliases
+
+    def dotted_call_name(self, call: ast.Call) -> str | None:
+        """The canonical dotted name of a call target, or None if dynamic.
+
+        ``np.random.rand(...)`` resolves to ``numpy.random.rand`` under
+        ``import numpy as np``; a call on a computed expression resolves to
+        None.
+        """
+        parts: list[str] = []
+        node: ast.expr = call.func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        return ".".join([root, *reversed(parts)])
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        """Every class defined anywhere in the module, in source order."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+
+def decorator_register_name(node: ast.expr) -> tuple[str, str] | None:
+    """Match a ``REGISTRY.register("name")`` decorator -> (registry, name).
+
+    Returns None for any other decorator shape (plain names, ``dataclass``
+    calls, registrations whose first argument is not a string literal).
+    """
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return None
+    if node.func.attr != "register" or not isinstance(node.func.value, ast.Name):
+        return None
+    if not node.args or not isinstance(node.args[0], ast.Constant):
+        return None
+    if not isinstance(node.args[0].value, str):
+        return None
+    return node.func.value.id, node.args[0].value
+
+
+def class_init_params(node: ast.ClassDef) -> list[str] | None:
+    """The constructor knobs of a class, from its AST alone.
+
+    A plain class contributes its ``__init__`` parameters (``self`` and
+    var-args excluded); a ``@dataclass`` without ``__init__`` contributes
+    its annotated fields (``ClassVar`` excluded).  Returns None when the
+    class has neither — its knobs are inherited and not this class's
+    contract.
+    """
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            names = [arg.arg for arg in item.args.args[1:]]
+            names.extend(arg.arg for arg in item.args.kwonlyargs)
+            return names
+    is_dataclass = any(
+        (isinstance(dec, ast.Name) and dec.id == "dataclass")
+        or (
+            isinstance(dec, ast.Call)
+            and isinstance(dec.func, ast.Name)
+            and dec.func.id == "dataclass"
+        )
+        for dec in node.decorator_list
+    )
+    if not is_dataclass:
+        return None
+    fields: list[str] = []
+    for item in node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            annotation = ast.unparse(item.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append(item.target.id)
+    return fields
+
+
+@dataclass
+class RegisteredComponent:
+    """One ``@REGISTRY.register("name")`` site found in the tree."""
+
+    registry: str
+    name: str
+    class_name: str
+    params: list[str] | None
+    module: ParsedModule
+    line: int
+
+
+class LintContext:
+    """Everything rules see: the parsed tree and shared cross-file facts."""
+
+    def __init__(self, root: Path, modules: list[ParsedModule]) -> None:
+        self.root = Path(root)
+        self.modules = modules
+        self._by_relpath = {module.relpath: module for module in modules}
+
+    def module(self, relpath: str) -> ParsedModule | None:
+        """The parsed module at a root-relative posix path, if present."""
+        return self._by_relpath.get(relpath)
+
+    def modules_under(self, *prefixes: str) -> list[ParsedModule]:
+        """The parsed modules whose relpath starts with any given prefix."""
+        return [
+            module
+            for module in self.modules
+            if any(module.relpath.startswith(prefix) for prefix in prefixes)
+        ]
+
+    def registered_components(self) -> list[RegisteredComponent]:
+        """Every decorator-registered component in the tree, in path order.
+
+        Covers registered classes (knobs = constructor parameters or
+        dataclass fields) and registered factory functions (knobs = their
+        parameters).  Presets registered by plain ``register(name, obj)``
+        calls are not collected — they have no constructor contract to lint.
+        """
+        components: list[RegisteredComponent] = []
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.ClassDef, ast.FunctionDef)):
+                    continue
+                for decorator in node.decorator_list:
+                    match = decorator_register_name(decorator)
+                    if match is None:
+                        continue
+                    registry, name = match
+                    if isinstance(node, ast.ClassDef):
+                        params = class_init_params(node)
+                    else:
+                        params = [arg.arg for arg in node.args.args]
+                        params.extend(arg.arg for arg in node.args.kwonlyargs)
+                    components.append(
+                        RegisteredComponent(
+                            registry=registry,
+                            name=name,
+                            class_name=node.name,
+                            params=params,
+                            module=module,
+                            line=node.lineno,
+                        )
+                    )
+        return components
+
+    def subclasses_of(self, base_name: str) -> Iterator[tuple[ParsedModule, ast.ClassDef]]:
+        """Classes anywhere in the tree listing ``base_name`` as a direct base."""
+        for module in self.modules:
+            for node in module.classes():
+                for base in node.bases:
+                    name = base.id if isinstance(base, ast.Name) else (
+                        base.attr if isinstance(base, ast.Attribute) else None
+                    )
+                    if name == base_name:
+                        yield module, node
+                        break
+
+
+@runtime_checkable
+class LintRule(Protocol):
+    """The rule contract: identity, severity, and a check over the context.
+
+    Implementations are classes registered in
+    :data:`~repro.api.registry.LINT_RULES`; the engine instantiates each
+    with no arguments and calls :meth:`check` once per run.  Rules must be
+    deterministic — findings are sorted, but stable messages are what keep
+    the baseline ledger meaningful.
+    """
+
+    rule_id: str
+    severity: str
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        """Yield every violation this rule sees in the parsed tree."""
+        ...

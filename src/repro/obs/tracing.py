@@ -28,7 +28,10 @@ from dataclasses import dataclass, field
 
 from repro.api.registry import OBSERVERS
 from repro.serving.events import (
+    BatchFlushed,
     CacheProbed,
+    PrefetchIssued,
+    RequestAdmitted,
     RequestArrived,
     RequestCompleted,
     RequestDropped,
@@ -295,6 +298,11 @@ class RequestTracer(ServerObserver):
                         root=root,
                     )
                 )
+        elif isinstance(event, (RequestAdmitted, PrefetchIssued, BatchFlushed)):
+            # Deliberately not part of span trees: admission and prefetch are
+            # already visible as the ingest span, and batch flushes are
+            # batch-level (no single request to attach them to).
+            return
 
     def orphans(self) -> list[int]:
         """Request ids that arrived but never reached a terminal event."""

@@ -182,6 +182,14 @@ class OnOffArrivals(ArrivalProcess):
             for i in range(num_requests)
         ]
 
+    def stream(self, keys: Sequence[str], num_requests: int):
+        # The phase walk is inherently sequential (each burst boundary
+        # depends on the previous draw), so the columnar form is the object
+        # trace columnarized — byte-identical to trace(), by construction.
+        from repro.serving.workload import ArrivalStream
+
+        return ArrivalStream.from_requests(self.trace(keys, num_requests))
+
 
 @ARRIVALS.register("closed-loop")
 class ClosedLoopClients:

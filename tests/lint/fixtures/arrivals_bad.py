@@ -1,0 +1,10 @@
+"""True positive: an ArrivalProcess overriding only half the pair."""
+
+from repro.serving.arrivals import ArrivalProcess
+
+
+class HalfArrivals(ArrivalProcess):
+    """Overrides trace() only; stream() falls back to a different path."""
+
+    def trace(self, keys, num_requests):
+        return []

@@ -1,0 +1,19 @@
+"""Near misses: a full pair, and a pure wrapper overriding neither."""
+
+from repro.serving.arrivals import ArrivalProcess
+
+
+class PairedArrivals(ArrivalProcess):
+    """Overrides both halves: the pair stays together."""
+
+    def trace(self, keys, num_requests):
+        return []
+
+    def stream(self, keys, num_requests):
+        return []
+
+
+class WrapperArrivals(ArrivalProcess):
+    """Overrides neither: inherits a consistent pair."""
+
+    label = "wrapper"

@@ -1,0 +1,37 @@
+"""A miniature config schema for the example-config validation fixtures."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheConfig:
+    """Cache section."""
+
+    capacity_bytes: int = 1000
+    policy: str = "lru"
+
+
+@dataclass
+class ServingConfig:
+    """Serving section."""
+
+    num_requests: int = 100
+    cache: CacheConfig | None = None
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class SweepConfig:
+    """Sweep section (legacy bare-grid form allowed)."""
+
+    workers: int = 1
+    grid: dict = field(default_factory=dict)
+
+
+@dataclass
+class EngineConfig:
+    """Root config every example file must validate against."""
+
+    seed: int = 0
+    serving: ServingConfig | None = None
+    sweep: "SweepConfig | None" = None

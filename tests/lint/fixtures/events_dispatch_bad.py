@@ -1,0 +1,11 @@
+"""True positive: a fold that silently ignores one event type."""
+
+from repro.serving.events import PingEvent
+
+
+class MetricsCollector:
+    """Handles PingEvent; PongEvent is invisible."""
+
+    def on_event(self, event):
+        if isinstance(event, PingEvent):
+            self.pings = getattr(self, "pings", 0) + 1

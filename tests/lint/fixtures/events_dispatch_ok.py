@@ -1,0 +1,13 @@
+"""Near miss: an explicit isinstance ignore branch counts as handling."""
+
+from repro.serving.events import PingEvent, PongEvent
+
+
+class MetricsCollector:
+    """Handles PingEvent, explicitly ignores PongEvent."""
+
+    def on_event(self, event):
+        if isinstance(event, PingEvent):
+            self.pings = getattr(self, "pings", 0) + 1
+        elif isinstance(event, PongEvent):
+            return

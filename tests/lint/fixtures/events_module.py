@@ -1,0 +1,21 @@
+"""A miniature frozen event hierarchy for the dispatch-rule fixtures."""
+
+from dataclasses import dataclass
+
+
+class ServerEvent:
+    """Base event."""
+
+
+@dataclass(frozen=True)
+class PingEvent(ServerEvent):
+    """First event type."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class PongEvent(ServerEvent):
+    """Second event type."""
+
+    time: float

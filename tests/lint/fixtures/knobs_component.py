@@ -1,0 +1,12 @@
+"""A registered component whose knobs the committed reference must list."""
+
+from repro.api.registry import WIDGETS
+
+
+@WIDGETS.register("widget")
+class Widget:
+    """A toy registered component with two constructor knobs."""
+
+    def __init__(self, size, rate=1.0):
+        self.size = size
+        self.rate = rate

@@ -1,0 +1,10 @@
+"""Near miss: plain-call registration has no constructor contract to lint."""
+
+from repro.api.registry import WIDGETS
+
+
+class Preset:
+    """A preset instance registered by call, not by decorator."""
+
+
+WIDGETS.register("preset", Preset())

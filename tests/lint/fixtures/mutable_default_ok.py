@@ -1,0 +1,11 @@
+"""Near miss: None-plus-in-body construction and immutable defaults."""
+
+
+def accumulate(value, acc=None):
+    acc = list(acc or ())
+    acc.append(value)
+    return acc
+
+
+def tabulate(rows, *, table=(), label=""):
+    return dict(table), rows, label

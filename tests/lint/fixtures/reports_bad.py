@@ -1,0 +1,36 @@
+"""True positives: untagged, duplicate-kind, and unfrozen reports."""
+
+from dataclasses import dataclass
+
+from repro.api.reports import Report, report_type
+
+
+@dataclass(frozen=True)
+class UntaggedReport(Report):
+    """No @report_type tag: Report.from_dict cannot rebuild it."""
+
+    value: int
+
+
+@report_type("dup")
+@dataclass(frozen=True)
+class FirstReport(Report):
+    """Claims the 'dup' kind first."""
+
+    value: int
+
+
+@report_type("dup")
+@dataclass(frozen=True)
+class SecondReport(Report):
+    """Duplicates the 'dup' kind."""
+
+    value: int
+
+
+@report_type("soft")
+@dataclass
+class UnfrozenReport(Report):
+    """Kind-tagged but mutable."""
+
+    value: int

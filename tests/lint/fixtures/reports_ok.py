@@ -1,0 +1,20 @@
+"""Near miss: a properly tagged frozen report, and a non-Report dataclass."""
+
+from dataclasses import dataclass
+
+from repro.api.reports import Report, report_type
+
+
+@report_type("toy")
+@dataclass(frozen=True)
+class ToyReport(Report):
+    """Kind-tagged and frozen: round-trips through Report.from_dict."""
+
+    value: int
+
+
+@dataclass
+class PlainRecord:
+    """Not a Report subclass: exempt from the kind-tag contract."""
+
+    value: int

@@ -1,0 +1,10 @@
+"""True positive: set iteration, and a bare .keys() loop in metrics code."""
+
+
+def rows(flags, totals):
+    out = [flag for flag in {"a", "b", "c"}]
+    for flag in set(flags):
+        out.append(flag)
+    for key in totals.keys():
+        out.append(key)
+    return out

@@ -1,0 +1,10 @@
+"""Near miss: sorted() wrapping makes the iteration order explicit."""
+
+
+def rows(flags, totals):
+    out = [flag for flag in sorted({"a", "b", "c"})]
+    for flag in sorted(set(flags)):
+        out.append(flag)
+    for key in sorted(totals.keys()):
+        out.append(key)
+    return out

@@ -1,0 +1,11 @@
+"""True positive: global RNG draws no config seed controls."""
+
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    offset = random.random()
+    noise = np.random.rand(len(values))
+    return offset, noise

@@ -1,0 +1,12 @@
+"""Near miss: seeded generator constructions are the sanctioned forms."""
+
+import random
+
+import numpy as np
+
+
+def generators(seed):
+    rng = np.random.default_rng(seed)
+    legacy = np.random.RandomState(seed)
+    stream = random.Random(seed)
+    return rng, legacy, stream

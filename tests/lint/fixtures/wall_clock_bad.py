@@ -1,0 +1,10 @@
+"""True positive: aliased wall-clock reads inside a simulation path."""
+
+import datetime
+from time import perf_counter as pc
+
+
+def stamp_events(events):
+    started = pc()
+    label = datetime.datetime.now()
+    return started, label, events

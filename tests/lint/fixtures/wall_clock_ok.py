@@ -1,0 +1,9 @@
+"""Near miss: naming the clock (without calling it) and sleeping are fine."""
+
+import time
+
+MEASURE = time.perf_counter  # a reference, not a read
+
+
+def wait_briefly():
+    time.sleep(0)

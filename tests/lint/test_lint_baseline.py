@@ -1,0 +1,102 @@
+"""The suppression ledger: matching, ratcheting, and the atomic stable write."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, Finding
+
+
+def finding(line: int = 10, message: str = "call to time.time in a simulation path"):
+    return Finding(
+        rule="no-wall-clock",
+        severity="error",
+        path="src/repro/serving/x.py",
+        line=line,
+        message=message,
+    )
+
+
+class TestMatching:
+    def test_identity_ignores_line_numbers(self):
+        ledger = Baseline(
+            entries=(
+                BaselineEntry(
+                    rule="no-wall-clock",
+                    path="src/repro/serving/x.py",
+                    message="call to time.time in a simulation path",
+                ),
+            )
+        )
+        kept, suppressed, stale = ledger.apply([finding(line=999)])
+        assert kept == [] and suppressed == 1 and stale == 0
+
+    def test_count_caps_the_suppression(self):
+        # Two identical findings against a count-1 entry: the second one
+        # (higher line) survives — a new occurrence is a new violation.
+        ledger = Baseline(
+            entries=(
+                BaselineEntry(
+                    rule="no-wall-clock",
+                    path="src/repro/serving/x.py",
+                    message="call to time.time in a simulation path",
+                    count=1,
+                ),
+            )
+        )
+        kept, suppressed, stale = ledger.apply([finding(line=20), finding(line=10)])
+        assert suppressed == 1
+        assert [f.line for f in kept] == [20]
+
+    def test_unmatched_entry_counts_as_stale(self):
+        ledger = Baseline(
+            entries=(
+                BaselineEntry(rule="gone-rule", path="a.py", message="never fires"),
+            )
+        )
+        kept, suppressed, stale = ledger.apply([finding()])
+        assert len(kept) == 1 and suppressed == 0 and stale == 1
+
+    def test_entry_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BaselineEntry(rule="r", path="p", message="m", count=0)
+
+    def test_finding_severity_is_validated(self):
+        with pytest.raises(ValueError):
+            Finding(rule="r", severity="fatal", path="p", line=1, message="m")
+
+
+class TestPersistence:
+    def test_load_missing_file_is_an_empty_ledger(self, tmp_path):
+        ledger = Baseline.load(tmp_path / "absent.json")
+        assert ledger.entries == ()
+
+    def test_load_rejects_malformed_ledgers(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_save_is_byte_identical_across_reruns(self, tmp_path):
+        findings = [finding(line=5), finding(line=7), finding(line=3, message="other")]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        first = path.read_bytes()
+        Baseline.from_findings(reversed(findings)).save(path)
+        assert path.read_bytes() == first
+        assert first.endswith(b"\n")
+        # The write is temp-file + rename: no droppings next to the ledger.
+        assert [p.name for p in tmp_path.iterdir()] == ["baseline.json"]
+
+    def test_from_findings_folds_counts_and_preserves_reasons(self, tmp_path):
+        findings = [finding(line=5), finding(line=7)]
+        key = findings[0].key
+        ledger = Baseline.from_findings(findings, reasons={key: "sanctioned"})
+        assert len(ledger.entries) == 1
+        entry = ledger.entries[0]
+        assert entry.count == 2 and entry.reason == "sanctioned"
+        path = ledger.save(tmp_path / "baseline.json")
+        reloaded = Baseline.load(path)
+        assert reloaded.entries == ledger.entries

@@ -1,0 +1,81 @@
+"""``python -m repro lint`` end to end, as a subprocess (what CI runs)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from tests.lint.support import fixture, make_root
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=300,
+    )
+
+
+class TestLintCli:
+    def test_repo_passes_against_committed_baseline(self):
+        result = run_cli("lint", "--baseline", "lint/baseline.json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 error(s)" in result.stdout
+
+    def test_seeded_violation_fails_naming_rule_and_location(self, tmp_path):
+        root = make_root(
+            tmp_path, {"src/repro/serving/clock.py": fixture("wall_clock_bad.py")}
+        )
+        result = run_cli("lint", "--root", str(root))
+        assert result.returncode == 1
+        assert "no-wall-clock" in result.stdout
+        assert "src/repro/serving/clock.py:8" in result.stdout
+        assert "time.perf_counter" in result.stdout
+
+    def test_json_output_is_the_unified_report_schema(self, tmp_path):
+        root = make_root(
+            tmp_path, {"src/repro/serving/clock.py": fixture("wall_clock_bad.py")}
+        )
+        result = run_cli("lint", "--root", str(root), "--json")
+        assert result.returncode == 1
+        data = json.loads(result.stdout)
+        assert data["kind"] == "lint"
+        assert {f["rule"] for f in data["findings"]} == {"no-wall-clock"}
+
+    def test_update_baseline_then_pass_then_byte_identical(self, tmp_path):
+        root = make_root(
+            tmp_path, {"src/repro/serving/clock.py": fixture("wall_clock_bad.py")}
+        )
+        ledger = tmp_path / "ledger.json"
+        first = run_cli(
+            "lint", "--root", str(root), "--baseline", str(ledger), "--update-baseline"
+        )
+        assert first.returncode == 0, first.stdout + first.stderr
+        recorded = ledger.read_bytes()
+
+        clean = run_cli("lint", "--root", str(root), "--baseline", str(ledger))
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        assert "2 baselined" in clean.stdout
+
+        again = run_cli(
+            "lint", "--root", str(root), "--baseline", str(ledger), "--update-baseline"
+        )
+        assert again.returncode == 0
+        assert ledger.read_bytes() == recorded
+
+    def test_update_baseline_without_a_path_is_an_error(self, tmp_path):
+        root = make_root(tmp_path, {"src/repro/serving/ok.py": '"""Fine."""\n'})
+        result = run_cli("lint", "--root", str(root), "--update-baseline")
+        assert result.returncode == 2
+        assert "baseline" in (result.stdout + result.stderr).lower()

@@ -1,0 +1,132 @@
+"""The orchestrator: parse errors, rule selection, the report, the ratchet.
+
+Also holds the repo-wide gate: the live tree must lint clean against the
+committed ``lint/baseline.json`` with no stale entries — the same check CI
+runs, so a new violation (or a fixed one left in the ledger) fails here
+first.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api.registry import LINT_RULES
+from repro.api.reports import Report
+from repro.lint import Baseline, LintEngine, LintReport
+
+from tests.lint.support import fixture, make_root
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestEngine:
+    def test_syntax_error_becomes_a_parse_error_finding(self, tmp_path):
+        root = make_root(
+            tmp_path,
+            {
+                "src/repro/serving/ok.py": '"""Fine."""\n',
+                "src/repro/serving/broken.py": "def broken(:\n",
+            },
+        )
+        report = LintEngine(root=root).run()
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert report.findings[0].path == "src/repro/serving/broken.py"
+        # The unparseable file is excluded from the checked count.
+        assert report.checked_files == 1
+
+    def test_rule_names_select_a_subset(self, tmp_path):
+        root = make_root(
+            tmp_path, {"src/repro/serving/clock.py": fixture("wall_clock_bad.py")}
+        )
+        report = LintEngine(root=root, rule_names=["no-mutable-default"]).run()
+        assert report.ok
+        assert report.rules == ("no-mutable-default",)
+
+    def test_default_rules_are_every_registered_rule(self, tmp_path):
+        root = make_root(tmp_path, {"src/repro/serving/ok.py": '"""Fine."""\n'})
+        report = LintEngine(root=root).run()
+        assert list(report.rules) == LINT_RULES.names()
+
+    def test_report_round_trips_through_the_unified_schema(self, tmp_path):
+        root = make_root(
+            tmp_path, {"src/repro/serving/clock.py": fixture("wall_clock_bad.py")}
+        )
+        report = LintEngine(root=root).run()
+        assert not report.ok
+        rebuilt = Report.from_dict(json.loads(report.to_json()))
+        assert isinstance(rebuilt, LintReport)
+        assert rebuilt == report
+
+
+class TestUpdateBaseline:
+    def test_update_then_rerun_is_clean_and_byte_identical(self, tmp_path):
+        root = make_root(
+            tmp_path, {"src/repro/serving/clock.py": fixture("wall_clock_bad.py")}
+        )
+        ledger = tmp_path / "ledger.json"
+        engine = LintEngine(root=root, baseline=ledger)
+        assert not engine.run().ok
+
+        engine.update_baseline()
+        first = ledger.read_bytes()
+        report = engine.run()
+        assert report.ok
+        assert report.suppressed == 2 and report.stale_baseline == 0
+
+        engine.update_baseline()
+        assert ledger.read_bytes() == first
+
+    def test_update_preserves_reasons_and_prunes_stale_entries(self, tmp_path):
+        root = make_root(
+            tmp_path, {"src/repro/serving/clock.py": fixture("wall_clock_bad.py")}
+        )
+        ledger = tmp_path / "ledger.json"
+        engine = LintEngine(root=root, baseline=ledger)
+        engine.update_baseline()
+
+        # A human fills in a reason; a later update must carry it forward.
+        loaded = Baseline.load(ledger)
+        keep = loaded.entries[0]
+        annotated = Baseline(
+            entries=(
+                BaselineEntryWithReason(keep),
+                # An entry no finding matches any more: pruned on update.
+                type(keep)(rule="gone", path="a.py", message="m"),
+            )
+        )
+        annotated.save(ledger)
+        report = engine.run()
+        assert report.stale_baseline == 1
+
+        engine.update_baseline()
+        refreshed = Baseline.load(ledger)
+        assert all(entry.rule != "gone" for entry in refreshed.entries)
+        by_key = {entry.key: entry.reason for entry in refreshed.entries}
+        assert by_key[keep.key] == "because"
+
+
+def BaselineEntryWithReason(entry):
+    """The same entry with a human reason filled in."""
+    return type(entry)(
+        rule=entry.rule,
+        path=entry.path,
+        message=entry.message,
+        count=entry.count,
+        reason="because",
+    )
+
+
+class TestRepoWide:
+    def test_live_tree_is_clean_modulo_committed_baseline(self):
+        report = LintEngine(
+            root=REPO_ROOT, baseline=REPO_ROOT / "lint" / "baseline.json"
+        ).run()
+        assert report.ok, "\n" + report.format()
+        assert report.stale_baseline == 0, "fixed findings left in the ledger"
+
+    def test_committed_baseline_entries_all_carry_reasons(self):
+        ledger = Baseline.load(REPO_ROOT / "lint" / "baseline.json")
+        assert ledger.entries, "the sanctioned profiler exception should be here"
+        for entry in ledger.entries:
+            assert entry.reason.strip(), f"baseline entry {entry.key} needs a reason"
