@@ -1,0 +1,115 @@
+"""Autoscale & recovery — what elasticity buys under swing and chaos.
+
+Not a figure from the paper: the elastic-fleet PR adds mid-run topology
+changes (autoscaling, crashes, recoveries, degraded storage), and this
+harness quantifies their SLO impact on the two bundled elastic configs:
+
+* ``serving_autoscale.json`` — a diurnal rate swing over a 2-shard fleet
+  with a threshold autoscaler (1–6 shards), compared against the *same*
+  traffic pinned to the fixed 2-shard topology;
+* ``serving_chaos.json`` — a crash-with-recovery plus a degraded-storage
+  window through a replicated (R=2) fleet, compared against the same
+  schedule with no replicas and against a fault-free baseline.
+
+Reported columns: p99 split into disrupted (arrivals inside a fault
+window) vs steady, mean time to recover, crash-rerouted requests,
+re-warm bytes moved by remaps, and drop counts.  The measured rows are
+persisted as ``benchmarks/output/autoscale_recovery.json`` so CI
+artifacts carry the numbers alongside the formatted table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from conftest import OUTPUT_DIR, emit
+
+from repro.analysis.report import format_table
+from repro.api import Engine, EngineConfig
+
+CONFIG_DIR = Path(__file__).resolve().parents[1] / "examples" / "configs"
+
+
+def _load(name: str) -> dict:
+    return json.loads((CONFIG_DIR / f"{name}.json").read_text())
+
+
+def _serve(data: dict):
+    return Engine(EngineConfig.from_dict(data)).serve()
+
+
+def _row(label: str, report) -> dict:
+    fleet = report.fleet if hasattr(report, "fleet") else report
+    elastic = report.kind == "elastic-fleet"
+    return {
+        "scenario": label,
+        "kind": report.kind,
+        "p99_ms": round(fleet.p99_latency_ms, 4),
+        "disrupted_p99_ms": (
+            round(report.disrupted_p99_ms, 4)
+            if elastic and report.disrupted_p99_ms is not None
+            else None
+        ),
+        "steady_p99_ms": (
+            round(report.steady_p99_ms, 4)
+            if elastic and report.steady_p99_ms is not None
+            else None
+        ),
+        "dropped": fleet.dropped_requests,
+        "final_shards": report.final_num_shards if elastic else report.num_shards,
+        "shards_added": report.shards_added if elastic else 0,
+        "crashes": report.crashes if elastic else 0,
+        "mttr_s": (
+            round(report.mean_time_to_recover_s, 6)
+            if elastic and report.mean_time_to_recover_s is not None
+            else None
+        ),
+        "rerouted": report.crash_rerouted_requests if elastic else 0,
+        "rewarm_bytes": report.rewarm_bytes if elastic else 0,
+    }
+
+
+def test_autoscale_and_recovery_slo_impact() -> None:
+    rows = []
+
+    # -- diurnal swing: fixed 2 shards vs threshold autoscaler ---------------
+    autoscale = _load("serving_autoscale")
+    fixed = _load("serving_autoscale")
+    del fixed["serving"]["fleet"]["autoscale"]
+    autoscale_report = _serve(autoscale)
+    rows.append(_row("diurnal fixed-2", _serve(fixed)))
+    rows.append(_row("diurnal autoscale", autoscale_report))
+
+    # -- chaos schedule: fault-free vs R=1 vs R=2 (as shipped) ---------------
+    chaos = _load("serving_chaos")
+    no_faults = _load("serving_chaos")
+    no_faults["serving"]["fleet"].pop("faults")
+    no_faults["serving"]["fleet"].pop("replicas")
+    solo = _load("serving_chaos")
+    solo["serving"]["fleet"].pop("replicas")
+    chaos_report = _serve(chaos)
+    rows.append(_row("chaos fault-free", _serve(no_faults)))
+    rows.append(_row("chaos replicas=1", _serve(solo)))
+    rows.append(_row("chaos replicas=2", chaos_report))
+
+    # The autoscaler actually resized the ring, and the chaos schedule
+    # actually crashed, re-routed, and recovered — otherwise the numbers
+    # above measure nothing.
+    assert autoscale_report.shards_added >= 1
+    assert chaos_report.crashes == chaos_report.recoveries == 1
+    assert chaos_report.crash_rerouted_requests > 0
+    assert chaos_report.mean_time_to_recover_s is not None
+    assert chaos_report.disrupted_p99_ms is not None
+    assert chaos_report.steady_p99_ms is not None
+
+    columns = list(rows[0])
+    table = format_table(
+        columns,
+        [["-" if row[c] is None else str(row[c]) for c in columns] for row in rows],
+    )
+    emit("autoscale_recovery", table)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "autoscale_recovery.json").write_text(
+        json.dumps({"rows": rows}, indent=2) + "\n"
+    )

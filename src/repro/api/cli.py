@@ -116,7 +116,17 @@ def _print_serve_report(engine: Engine, report, config_path: str) -> None:
         print(f"prefetch               {serving.prefetch.name}")
     fleet = serving.fleet if serving else None
     if fleet is not None:
-        print(f"router                 {fleet.router} ({fleet.virtual_nodes} vnodes)")
+        router = "replica" if fleet.replicas > 1 else fleet.router
+        print(f"router                 {router} ({fleet.virtual_nodes} vnodes)")
+        if fleet.autoscale is not None and fleet.autoscale.name != "none":
+            print(
+                f"autoscale              {fleet.autoscale.name} "
+                f"(every {fleet.autoscale.interval_s:g} s, "
+                f"{fleet.autoscale.min_shards}-{fleet.autoscale.max_shards} shards)"
+            )
+        if fleet.faults:
+            names = ", ".join(fault.name for fault in fleet.faults)
+            print(f"faults                 {names}")
     print(report.format())
 
 

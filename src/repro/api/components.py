@@ -19,10 +19,13 @@ from repro.nn import resnet as _resnet  # noqa: F401
 from repro.obs import metrics as _obs_metrics  # noqa: F401
 from repro.obs import tracing as _obs_tracing  # noqa: F401
 from repro.serving import arrivals as _arrivals  # noqa: F401
+from repro.serving import autoscale as _autoscale  # noqa: F401
 from repro.serving import batcher as _batcher  # noqa: F401
 from repro.serving import cache as _cache  # noqa: F401
 from repro.serving import control as _control  # noqa: F401
+from repro.serving import elastic as _elastic  # noqa: F401
 from repro.serving import events as _events  # noqa: F401
+from repro.serving import faults as _faults  # noqa: F401
 from repro.serving import fleet as _fleet  # noqa: F401
 from repro.serving import policies as _serving_policies  # noqa: F401
 from repro.serving import popularity as _popularity  # noqa: F401

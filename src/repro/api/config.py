@@ -496,6 +496,63 @@ class ObservabilityConfig(_DictMixin):
 
 
 @dataclass(frozen=True)
+class AutoscaleConfig(_DictMixin):
+    """Mid-run fleet resizing by a named autoscale policy.
+
+    ``name`` picks a policy from the ``autoscale-policies`` registry
+    (``none`` keeps the section inert — the run stays on the static fleet
+    path byte-for-byte); ``options`` are its keyword arguments.  The fleet
+    evaluates the policy every ``interval_s`` of simulated time and clamps
+    its shard delta to ``[min_shards, max_shards]``.
+    """
+
+    name: str = "none"
+    interval_s: float = 0.05
+    min_shards: int = 1
+    max_shards: int = 16
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "autoscale.name must be non-empty")
+        _require(self.interval_s > 0, "autoscale.interval_s must be positive")
+        _require(self.min_shards > 0, "autoscale.min_shards must be positive")
+        _require(
+            self.max_shards >= self.min_shards,
+            "autoscale.max_shards must be >= autoscale.min_shards",
+        )
+        _require(isinstance(self.options, dict), "autoscale.options must be a mapping")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AutoscaleConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultConfig(_DictMixin):
+    """One seeded fault injector: a name from the ``faults`` registry.
+
+    ``options`` are the injector's keyword arguments (crash schedules,
+    degraded-bandwidth windows, ...).  A fleet's ``faults`` list composes
+    injectors; an empty list keeps the run on the static fleet path.
+    """
+
+    name: str
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "fault.name must be non-empty")
+        _require(isinstance(self.options, dict), "fault.options must be a mapping")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultConfig":
+        data = dict(data)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class FleetConfig(_DictMixin):
     """Multi-node sharding of the serving tier.
 
@@ -505,6 +562,13 @@ class FleetConfig(_DictMixin):
     shard index to ``ServingConfig`` field patches (nested dicts such as
     ``cache`` merge field-wise), which is how a fleet mixes, say, one
     big-cache shard with several small ones.
+
+    The elastic extensions — ``replicas`` > 1 (per-request replica-group
+    routing), a non-``none`` ``autoscale`` section, or a non-empty
+    ``faults`` list — switch the run to the
+    :class:`~repro.serving.elastic.ElasticFleet`; with all three at their
+    defaults the run takes the static ``ShardedFleet`` path and its report
+    is byte-identical to a config without the sections at all.
     """
 
     num_shards: int = 2
@@ -512,11 +576,28 @@ class FleetConfig(_DictMixin):
     virtual_nodes: int = 64
     seed: int = 0
     overrides: dict[int, dict] = field(default_factory=dict)
+    replicas: int = 1
+    autoscale: AutoscaleConfig | None = None
+    faults: tuple = ()
+
+    @property
+    def is_elastic(self) -> bool:
+        """True when any elastic feature is actually enabled."""
+        return (
+            self.replicas > 1
+            or (self.autoscale is not None and self.autoscale.name != "none")
+            or bool(self.faults)
+        )
 
     def __post_init__(self) -> None:
         _require(self.num_shards > 0, "fleet.num_shards must be positive")
         _require(bool(self.router), "fleet.router must be non-empty")
         _require(self.virtual_nodes > 0, "fleet.virtual_nodes must be positive")
+        _require(self.replicas > 0, "fleet.replicas must be positive")
+        _require(
+            all(isinstance(fault, FaultConfig) for fault in self.faults),
+            "fleet.faults must be a list of fault sections",
+        )
         for shard, patch in self.overrides.items():
             _require(
                 isinstance(shard, int) and 0 <= shard < self.num_shards,
@@ -547,6 +628,13 @@ class FleetConfig(_DictMixin):
         if overrides is not None:
             # JSON object keys are strings; config keys are shard indices.
             data["overrides"] = {int(shard): patch for shard, patch in overrides.items()}
+        data["autoscale"] = _pop_section(data, "autoscale", AutoscaleConfig)
+        faults = data.pop("faults", None)
+        if faults is not None:
+            data["faults"] = tuple(
+                fault if isinstance(fault, FaultConfig) else FaultConfig.from_dict(fault)
+                for fault in faults
+            )
         return cls(**data)
 
 

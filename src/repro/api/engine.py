@@ -32,10 +32,12 @@ from repro.api.experiments import ExperimentResult
 from repro.api.registry import (
     ADMISSION_POLICIES,
     ARRIVALS,
+    AUTOSCALE_POLICIES,
     BACKBONES,
     BATCH_COSTS,
     CACHES,
     EXPERIMENTS,
+    FAULTS,
     MACHINES,
     POPULARITY,
     PREFETCH_POLICIES,
@@ -53,7 +55,8 @@ from repro.serving.arrivals import ClosedLoopClients, Request
 from repro.serving.batcher import BatchCostModel
 from repro.serving.cache import ScanCache
 from repro.serving.control import AdmissionPolicy, PrefetchPolicy
-from repro.serving.fleet import FleetReport, ShardedFleet
+from repro.serving.elastic import ElasticFleet
+from repro.serving.fleet import FleetReport, ReplicaRouter, ShardedFleet
 from repro.serving.metrics import SLOReport
 from repro.serving.popularity import PopularityModel
 from repro.serving.server import InferenceServer, ServerConfig
@@ -257,6 +260,65 @@ class Engine:
         )
         return ShardedFleet(servers, router)
 
+    def build_elastic_fleet(self) -> ElasticFleet:
+        """The elastic fleet of an elastic ``serving.fleet`` section.
+
+        Shard servers come from a factory (scale-outs and post-crash
+        recoveries build fresh cold-cache nodes); ``replicas > 1`` swaps
+        the plain ring for a :class:`~repro.serving.fleet.ReplicaRouter`;
+        the autoscale policy and fault injectors come from their
+        registries.
+        """
+        serving = self._serving_section()
+        fleet = serving.fleet
+        if fleet is None or not fleet.is_elastic:
+            raise ValueError(
+                "this config has no elastic 'serving.fleet' section; enable "
+                "replicas, autoscale, or faults (or use build_fleet)"
+            )
+
+        def server_factory(shard: int) -> InferenceServer:
+            return self.build_server(serving.for_shard(shard))
+
+        if fleet.replicas > 1:
+            router = ReplicaRouter(
+                range(fleet.num_shards),
+                replicas=fleet.replicas,
+                virtual_nodes=fleet.virtual_nodes,
+                seed=fleet.seed,
+            )
+        else:
+            router = ROUTERS.build(
+                fleet.router,
+                shard_ids=range(fleet.num_shards),
+                virtual_nodes=fleet.virtual_nodes,
+                seed=fleet.seed,
+            )
+        autoscale = None
+        interval_s = 0.05
+        min_shards, max_shards = 1, 16
+        if fleet.autoscale is not None and fleet.autoscale.name != "none":
+            autoscale = AUTOSCALE_POLICIES.build(
+                fleet.autoscale.name, **fleet.autoscale.options
+            )
+            interval_s = fleet.autoscale.interval_s
+            min_shards = fleet.autoscale.min_shards
+            max_shards = fleet.autoscale.max_shards
+        injectors = [
+            FAULTS.build(fault.name, **fault.options) for fault in fleet.faults
+        ]
+        return ElasticFleet(
+            server_factory,
+            fleet.num_shards,
+            router,
+            autoscale=autoscale,
+            autoscale_interval_s=interval_s,
+            min_shards=min_shards,
+            max_shards=max_shards,
+            injectors=injectors,
+            replicas=fleet.replicas,
+        )
+
     def build_telemetry(self, serving=None) -> TelemetryPipeline | None:
         """A fresh telemetry pipeline per ``serving.observability`` (None = off)."""
         serving = serving if serving is not None else self._serving_section()
@@ -351,6 +413,14 @@ class Engine:
                     "sharded fleets serve open-loop traces; closed-loop clients "
                     "are bound to one server's completion times"
                 )
+            if serving.fleet.is_elastic:
+                if serving.observability is not None:
+                    raise ValueError(
+                        "elastic fleets do not support the observability "
+                        "section: crash re-routes serve one request id on two "
+                        "shards, which the tracer's shard-wise merge rejects"
+                    )
+                return self.build_elastic_fleet().run(traffic)
             fleet = self.build_fleet()
             factory = None
             if serving.observability is not None:

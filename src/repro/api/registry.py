@@ -121,6 +121,12 @@ ADMISSION_POLICIES = Registry("admission policy")
 #: Prefetch policies of the serving control plane (``repro.serving.control``).
 PREFETCH_POLICIES = Registry("prefetch policy")
 
+#: Autoscale policies of the elastic fleet (``repro.serving.autoscale``).
+AUTOSCALE_POLICIES = Registry("autoscale policy")
+
+#: Seeded fault injectors for chaos runs (``repro.serving.faults``).
+FAULTS = Registry("fault injector")
+
 #: Key-popularity models for arrival processes (``repro.serving.popularity``).
 POPULARITY = Registry("popularity model")
 
@@ -152,6 +158,8 @@ def all_registries() -> dict[str, Registry]:
         "routers": ROUTERS,
         "admission-policies": ADMISSION_POLICIES,
         "prefetch-policies": PREFETCH_POLICIES,
+        "autoscale-policies": AUTOSCALE_POLICIES,
+        "faults": FAULTS,
         "popularity": POPULARITY,
         "machines": MACHINES,
         "profiles": PROFILES,

@@ -40,6 +40,10 @@ from repro.serving.events import (
     RequestDropped,
     ServerEvent,
     ServerObserver,
+    ShardAdded,
+    ShardCrashed,
+    ShardRecovered,
+    ShardRemoved,
 )
 
 
@@ -380,6 +384,12 @@ class MetricsCollector(ServerObserver):
             registry.inc("completions", time)
             registry.observe("latency_s", time, event.record.latency)
             registry.observe("queue_wait_s", time, event.record.queue_wait)
+        elif isinstance(
+            event, (ShardAdded, ShardRemoved, ShardCrashed, ShardRecovered)
+        ):
+            # Fleet topology churn: one counter covers all four edges (the
+            # elastic fleet report carries the per-kind breakdown).
+            registry.inc("topology_events", time)
 
     def merge(self, other: "MetricsCollector") -> None:
         """Fold another shard's collector into this one (window-aligned)."""

@@ -37,6 +37,10 @@ from repro.serving.events import (
     RequestDropped,
     ServerEvent,
     ServerObserver,
+    ShardAdded,
+    ShardCrashed,
+    ShardRecovered,
+    ShardRemoved,
 )
 
 #: The per-request pipeline stages, in lifecycle order.
@@ -302,6 +306,12 @@ class RequestTracer(ServerObserver):
             # Deliberately not part of span trees: admission and prefetch are
             # already visible as the ingest span, and batch flushes are
             # batch-level (no single request to attach them to).
+            return
+        elif isinstance(
+            event, (ShardAdded, ShardRemoved, ShardCrashed, ShardRecovered)
+        ):
+            # Fleet topology events carry no request to trace; they matter to
+            # the elastic fleet report, not to per-request span trees.
             return
 
     def orphans(self) -> list[int]:

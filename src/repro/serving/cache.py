@@ -90,6 +90,16 @@ class ScanCache:
         entry = self._entries.get(key)
         return entry.num_scans if entry is not None else 0
 
+    def cached_bytes(self, key: str) -> int:
+        """Bytes resident for ``key`` (0 when absent).
+
+        The elastic fleet prices a ring remap with this: the resident bytes
+        of every key that moved shards is exactly the re-warm traffic the
+        new owner must fetch again.
+        """
+        entry = self._entries.get(key)
+        return entry.num_bytes if entry is not None else 0
+
     def lru_keys(self) -> list[str]:
         """Keys from least- to most-recently used (for tests/diagnostics)."""
         return list(self._entries)

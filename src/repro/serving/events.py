@@ -99,6 +99,57 @@ class RequestCompleted(ServerEvent):
     record: ServedRequest
 
 
+@dataclass(frozen=True)
+class ShardAdded(ServerEvent):
+    """The elastic fleet scaled out: ``shard_id`` joined the ring.
+
+    ``num_shards`` is the live count *after* the change; ``rewarm_bytes``
+    is the cache residency stranded on other shards by the keys this shard
+    now owns (the re-warm cost of the remap).
+    """
+
+    shard_id: int
+    num_shards: int
+    rewarm_bytes: int
+
+
+@dataclass(frozen=True)
+class ShardRemoved(ServerEvent):
+    """The elastic fleet scaled in: ``shard_id`` drained and left the ring.
+
+    A removed shard finishes its in-flight work (graceful drain) but its
+    cache is discarded — ``rewarm_bytes`` counts the resident bytes its
+    remapped keys must re-fetch elsewhere.
+    """
+
+    shard_id: int
+    num_shards: int
+    rewarm_bytes: int
+
+
+@dataclass(frozen=True)
+class ShardCrashed(ServerEvent):
+    """A fault injector killed ``shard_id`` mid-run.
+
+    ``failed_requests`` counts the in-flight requests the crash destroyed;
+    each is re-routed to a surviving shard (or dropped as ``fleet-down``
+    when none exists).
+    """
+
+    shard_id: int
+    num_shards: int
+    failed_requests: int
+
+
+@dataclass(frozen=True)
+class ShardRecovered(ServerEvent):
+    """A crashed shard rejoined the ring after ``downtime_s`` (cache cold)."""
+
+    shard_id: int
+    num_shards: int
+    downtime_s: float
+
+
 class ServerObserver:
     """Interface for event-stream consumers (default: ignore everything)."""
 

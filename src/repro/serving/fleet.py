@@ -140,6 +140,37 @@ class ConsistentHashRouter:
             index = 0
         return self._ring[index][1]
 
+    def route_request(self, key: str, request_id: int) -> Any:
+        """Per-request routing hook; the plain ring ignores ``request_id``.
+
+        :class:`ReplicaRouter` overrides this with seeded replica selection;
+        having it here lets the elastic fleet route per request through
+        either router without type checks.
+        """
+        return self.route(key)
+
+    def successors(self, key: str) -> list[Any]:
+        """Distinct live shards in ring order from ``key``'s position.
+
+        The first entry is :meth:`route`'s answer; the rest are the shards a
+        replica group spills onto, in the deterministic order consistent
+        hashing already defines — so replica sets inherit the ring's
+        minimal-remap property.
+        """
+        if not self._ring:
+            return []
+        position = _hash64(f"{self.seed}|key|{key}")
+        index = bisect.bisect_left(self._points, position)
+        seen: set[Any] = set()
+        ordered: list[Any] = []
+        ring_size = len(self._ring)
+        for step in range(ring_size):
+            shard_id = self._ring[(index + step) % ring_size][1]
+            if shard_id not in seen:
+                seen.add(shard_id)
+                ordered.append(shard_id)
+        return ordered
+
     def shard_shares(self) -> dict[Any, float]:
         """Fraction of the hash space each live shard owns (sums to 1.0)."""
         if not self._ring:
@@ -150,6 +181,105 @@ class ConsistentHashRouter:
             shares[shard_id] += (position - previous) / _HASH_SPACE
             previous = position
         return shares
+
+
+@ROUTERS.register("replica")
+class ReplicaRouter:
+    """A replica-group router: one key maps onto ``replicas`` shards.
+
+    Wraps a :class:`ConsistentHashRouter`; a key's replica set is the first
+    ``replicas`` distinct shards in ring order from its hash position
+    (:meth:`ConsistentHashRouter.successors`), so replica sets keep the
+    ring's minimal-remap property — membership changes only disturb sets
+    that gained or lost the changed shard.  Per-request selection inside
+    the set is a seeded blake2b hash of ``(key, request_id)``: hot keys
+    spread across their whole replica group, cold keys still land mostly
+    on one shard's cache, and a crashed shard's share flows to the
+    survivors of each set.
+
+    With ``replicas=1`` every method degenerates to the wrapped ring
+    exactly, which is what keeps static fleets byte-identical.
+    """
+
+    def __init__(
+        self,
+        shard_ids: Iterable[Any],
+        replicas: int = 2,
+        virtual_nodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self.ring = ConsistentHashRouter(
+            shard_ids, virtual_nodes=virtual_nodes, seed=seed
+        )
+
+    # -- membership (delegated) --------------------------------------------------
+    @property
+    def seed(self) -> int:
+        return self.ring.seed
+
+    @property
+    def virtual_nodes(self) -> int:
+        return self.ring.virtual_nodes
+
+    @property
+    def shard_ids(self) -> list[Any]:
+        return self.ring.shard_ids
+
+    @property
+    def num_shards(self) -> int:
+        return self.ring.num_shards
+
+    def __contains__(self, shard_id: Any) -> bool:
+        return shard_id in self.ring
+
+    def add_shard(self, shard_id: Any) -> None:
+        self.ring.add_shard(shard_id)
+
+    def remove_shard(self, shard_id: Any) -> None:
+        self.ring.remove_shard(shard_id)
+
+    def shard_shares(self) -> dict[Any, float]:
+        return self.ring.shard_shares()
+
+    def successors(self, key: str) -> list[Any]:
+        return self.ring.successors(key)
+
+    # -- routing -----------------------------------------------------------------
+    def replica_set(self, key: str) -> list[Any]:
+        """The ``min(replicas, live)`` shards holding ``key``, in ring order."""
+        return self.ring.successors(key)[: self.replicas]
+
+    def route(self, key: str) -> Any:
+        """The primary replica (identical to the wrapped ring's answer)."""
+        return self.ring.route(key)
+
+    def route_request(self, key: str, request_id: int) -> Any:
+        """Seeded per-request pick inside the key's replica group."""
+        group = self.replica_set(key)
+        if not group:
+            raise ValueError("cannot route on an empty ring; add a shard first")
+        if len(group) == 1:
+            return group[0]
+        pick = _hash64(f"{self.ring.seed}|pick|{key}|{request_id}") % len(group)
+        return group[pick]
+
+
+def load_imbalance_factor(offered: Sequence[int]) -> float:
+    """Busiest shard's offered load over the per-shard mean (guarded).
+
+    Returns 1.0 — a perfectly even split — when nothing was offered at all,
+    so a shard left with zero requests after a mid-run remap can never turn
+    the report's imbalance column into a division by zero.
+    """
+    if not offered:
+        return 1.0
+    mean_offered = sum(offered) / len(offered)
+    if mean_offered <= 0:
+        return 1.0
+    return max(offered) / mean_offered
 
 
 # ---------------------------------------------------------------------------
@@ -455,11 +585,10 @@ class ShardedFleet:
         # Imbalance is over *offered* (routed) per-shard load: what the
         # router dealt each shard, before any admission policy shed work.
         offered = [len(sub_trace) for sub_trace in sub_traces]
-        mean_offered = len(trace) / self.num_shards
         return FleetReport(
             num_shards=self.num_shards,
             shards=tuple(shard_reports),
             fleet=fleet,
-            load_imbalance=max(offered) / mean_offered,
+            load_imbalance=load_imbalance_factor(offered),
             idle_shards=sum(1 for count in offered if count == 0),
         )

@@ -106,9 +106,19 @@ from repro.serving.events import (
     RequestDropped,
     ServerEvent,
     ServerObserver,
+    ShardAdded,
+    ShardCrashed,
+    ShardRecovered,
+    ShardRemoved,
 )
 from repro.serving.metrics import RequestRecords, ServedRequest, SLOReport, build_report
 from repro.serving.workload import ArrivalStream
+
+#: Topology events a single server never emits: the elastic fleet
+#: (:mod:`repro.serving.elastic`) raises them at segment boundaries, above
+#: any one server's event loop.  Named here so the exhaustive-dispatch lint
+#: sees the full ServerEvent family at the server seam.
+_FLEET_LEVEL_EVENTS = (ShardAdded, ShardRemoved, ShardCrashed, ShardRecovered)
 
 _ARRIVAL = "arrival"
 _ENQUEUE = "enqueue"

@@ -36,7 +36,9 @@ EXPERIMENT_CONFIGS = ("fig2", "table1")
 #: Configs whose report comes from ``serve`` (these exercise the fast core).
 SERVING_CONFIGS = (
     "serving_admission",
+    "serving_autoscale",
     "serving_bursty",
+    "serving_chaos",
     "serving_diurnal",
     "serving_prefetch",
     "serving_replay",
@@ -121,3 +123,25 @@ def test_every_golden_has_a_config() -> None:
     """No stale golden files: each pinned report maps to a live config."""
     pinned = {path.stem for path in GOLDEN_DIR.glob("*.json")}
     assert pinned == set(ALL_CONFIGS)
+
+
+@pytest.mark.parametrize("fast_core", [True, False], ids=["fast", "scalar"])
+def test_disabled_elastic_sections_match_the_static_golden(fast_core: bool) -> None:
+    """Elastic sections configured but *disabled* are byte-invisible.
+
+    ``replicas: 1``, ``autoscale.name: "none"`` and ``faults: []`` must
+    leave the run on the static ``ShardedFleet`` path — the report is
+    byte-identical to the pinned ``serving_sharded`` golden, which is the
+    differential gate that the elastic layer cannot perturb existing
+    configs.
+    """
+    data = json.loads((CONFIG_DIR / "serving_sharded.json").read_text())
+    fleet = data["serving"]["fleet"]
+    fleet["replicas"] = 1
+    fleet["autoscale"] = {"name": "none"}
+    fleet["faults"] = []
+    data["serving"]["fast_core"] = fast_core
+    report = Engine(EngineConfig.from_dict(data)).serve()
+    assert report.kind == "fleet"  # not elastic-fleet: the static path ran
+    expected = (GOLDEN_DIR / "serving_sharded.json").read_text()
+    assert report.to_json() + "\n" == expected

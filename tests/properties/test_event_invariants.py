@@ -30,8 +30,10 @@ from repro.data.dataset import SyntheticDataset
 from repro.data.profiles import IMAGENET_LIKE
 from repro.nn.resnet import resnet_tiny
 from repro.serving.arrivals import OnOffArrivals, PoissonArrivals
+from repro.serving.autoscale import ThresholdAutoscaler
 from repro.serving.batcher import LinearBatchCost
 from repro.serving.cache import ScanCache
+from repro.serving.elastic import ElasticFleet
 from repro.serving.events import (
     BatchFlushed,
     RequestArrived,
@@ -39,7 +41,10 @@ from repro.serving.events import (
     RequestDropped,
     ServerEvent,
     ServerObserver,
+    ShardAdded,
+    ShardRemoved,
 )
+from repro.serving.fleet import ConsistentHashRouter
 from repro.serving.server import InferenceServer, ServerConfig
 from repro.serving.workload import ArrivalStream, DiurnalArrivals
 from repro.storage.policy import ScanReadPolicy
@@ -237,6 +242,69 @@ def test_event_stream_invariants(params, config) -> None:
         stats = server.cache.stats
         assert stats.hits + stats.misses >= 0
         assert report.num_requests == len(server.last_served)
+
+
+elastic_traffic = st.fixed_dictionaries(
+    {
+        "rate_rps": st.floats(min_value=500.0, max_value=4000.0),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "num_requests": st.integers(min_value=12, max_value=40),
+    }
+)
+
+
+@given(params=elastic_traffic)
+@_SETTINGS
+def test_invariants_hold_across_dynamic_topology_boundaries(params) -> None:
+    """Ordering and conservation survive mid-run ShardAdded/ShardRemoved.
+
+    An aggressive threshold autoscaler forces topology changes while traffic
+    is in flight; the topology event stream must stay time-ordered, every
+    resize must move the live shard count by exactly one, and the arrival
+    conservation law (served + dropped == offered, no duplicates) must hold
+    across every boundary.
+    """
+    horizon = params["num_requests"] / params["rate_rps"]
+    fleet = ElasticFleet(
+        lambda shard_id: _server(_fresh_store(), fast_core=True),
+        2,
+        ConsistentHashRouter(range(2), seed=11),
+        autoscale=ThresholdAutoscaler(
+            high_rps_per_shard=params["rate_rps"] / 4.0,
+            low_rps_per_shard=params["rate_rps"] / 32.0,
+        ),
+        autoscale_interval_s=max(horizon / 8.0, 1e-4),
+        min_shards=1,
+        max_shards=6,
+    )
+    process = PoissonArrivals(rate_rps=params["rate_rps"], seed=params["seed"])
+    store_keys = [key for key, _, _ in _samples()]
+    report = fleet.run(process.trace(store_keys, params["num_requests"]))
+
+    times = [event.time for event in fleet.last_events]
+    assert times == sorted(times), "topology events must be time-ordered"
+    live = 2
+    for event in fleet.last_events:
+        if isinstance(event, ShardAdded):
+            live += 1
+            assert event.num_shards == live
+        elif isinstance(event, ShardRemoved):
+            live -= 1
+            assert event.num_shards == live
+        assert 1 <= live <= 6
+    assert report.final_num_shards == live
+
+    served = [record.request_id for record in fleet.last_served]
+    dropped = [request.request_id for request, _ in fleet.last_dropped]
+    assert len(served) == len(set(served))
+    assert set(served) | set(dropped) == set(range(params["num_requests"]))
+    assert set(served) & set(dropped) == set()
+    assert report.shards_added == sum(
+        isinstance(e, ShardAdded) for e in fleet.last_events
+    )
+    assert report.shards_removed == sum(
+        isinstance(e, ShardRemoved) for e in fleet.last_events
+    )
 
 
 @pytest.mark.parametrize("fast_core", [False, True])

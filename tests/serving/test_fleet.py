@@ -21,7 +21,12 @@ from repro.api.config import (
     ServingConfig,
     StoreConfig,
 )
-from repro.serving.fleet import ConsistentHashRouter, FleetReport, ShardedFleet
+from repro.serving.fleet import (
+    ConsistentHashRouter,
+    FleetReport,
+    ShardedFleet,
+    load_imbalance_factor,
+)
 
 NUM_REQUESTS = 32
 
@@ -278,3 +283,36 @@ class TestFleetControlPlane:
         fleet = Engine(config).build_fleet()
         assert type(fleet.servers[0].admission).__name__ == "EwmaAdmissionController"
         assert type(fleet.servers[1].admission).__name__ == "AlwaysAdmit"
+
+
+class _EverythingToShardZero(ConsistentHashRouter):
+    """Degenerate router: every key lands on shard 0 (others stay idle)."""
+
+    def route(self, key):
+        return 0
+
+
+class TestLoadImbalanceGuard:
+    def test_factor_unit_cases(self):
+        assert load_imbalance_factor([]) == 1.0
+        assert load_imbalance_factor([0, 0, 0]) == 1.0  # zero offered everywhere
+        assert load_imbalance_factor([8]) == 1.0
+        assert load_imbalance_factor([4, 2]) == pytest.approx(4 / 3)
+        assert load_imbalance_factor([6, 0, 0]) == pytest.approx(3.0)
+
+    def test_fleet_with_zero_offered_shards_reports_finite_imbalance(self):
+        """Idle shards (zero offered requests) never blow up the imbalance
+        column — the guard that matters once elastic remaps can leave a
+        freshly added shard with no traffic at all."""
+        import math
+
+        engine = Engine(fleet_config(num_shards=3))
+        servers = engine.build_fleet().servers
+        fleet = ShardedFleet(servers, router=_EverythingToShardZero(range(3)))
+        report = fleet.run(engine.build_trace())
+
+        assert report.idle_shards == 2
+        counts = [shard.num_requests for shard in report.shards]
+        assert counts[1] == counts[2] == 0
+        assert math.isfinite(report.load_imbalance)
+        assert report.load_imbalance == pytest.approx(3.0)  # all load on 1 of 3

@@ -18,7 +18,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.serving.fleet import ConsistentHashRouter
+from repro.serving.fleet import ConsistentHashRouter, ReplicaRouter
 
 _SETTINGS = dict(
     max_examples=40,
@@ -135,3 +135,107 @@ class TestMinimalRemapping:
 
         router.remove_shard(new_shard)
         assert {key: router.route(key) for key in keys} == before
+
+
+replica_params = st.fixed_dictionaries(
+    {
+        "num_shards": st.integers(min_value=2, max_value=8),
+        "replicas": st.integers(min_value=1, max_value=3),
+        "virtual_nodes": st.sampled_from([64, 96]),
+        "seed": st.integers(min_value=0, max_value=1000),
+    }
+)
+
+
+def make_replica_router(params) -> ReplicaRouter:
+    return ReplicaRouter(
+        range(params["num_shards"]),
+        replicas=params["replicas"],
+        virtual_nodes=params["virtual_nodes"],
+        seed=params["seed"],
+    )
+
+
+class TestReplicaRouter:
+    @given(replica_params, st.lists(st.text(min_size=1), min_size=1, max_size=30))
+    @settings(**_SETTINGS)
+    def test_replica_sets_are_distinct_live_shards_led_by_the_primary(
+        self, params, keys
+    ):
+        router = make_replica_router(params)
+        live = set(router.shard_ids)
+        expected_size = min(params["replicas"], params["num_shards"])
+        for key in keys:
+            group = router.replica_set(key)
+            assert len(group) == expected_size
+            assert len(set(group)) == len(group)  # distinct members
+            assert set(group) <= live
+            assert group[0] == router.route(key)  # primary == ring answer
+
+    @given(
+        replica_params,
+        st.lists(st.text(min_size=1), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(**_SETTINGS)
+    def test_route_request_is_a_deterministic_member_of_the_replica_set(
+        self, params, keys, request_id
+    ):
+        router = make_replica_router(params)
+        for key in keys:
+            shard = router.route_request(key, request_id)
+            assert shard in router.replica_set(key)
+            assert router.route_request(key, request_id) == shard
+            assert make_replica_router(params).route_request(key, request_id) == shard
+
+    @given(replica_params)
+    @settings(**_SETTINGS)
+    def test_single_replica_degenerates_to_the_plain_ring(self, params):
+        router = ReplicaRouter(
+            range(params["num_shards"]),
+            replicas=1,
+            virtual_nodes=params["virtual_nodes"],
+            seed=params["seed"],
+        )
+        ring = ConsistentHashRouter(
+            range(params["num_shards"]),
+            virtual_nodes=params["virtual_nodes"],
+            seed=params["seed"],
+        )
+        for index in range(64):
+            key = f"img{index}"
+            assert router.route(key) == ring.route(key)
+            assert router.route_request(key, index) == ring.route(key)
+            assert router.replica_set(key) == [ring.route(key)]
+
+    @given(replica_params, st.integers(min_value=0, max_value=7))
+    @settings(**_SETTINGS)
+    def test_removing_one_shard_only_disturbs_sets_that_held_it(
+        self, params, victim_index
+    ):
+        router = make_replica_router(params)
+        victim = router.shard_ids[victim_index % router.num_shards]
+        keys = [f"key-{i}" for i in range(128)]
+        before = {key: router.replica_set(key) for key in keys}
+
+        router.remove_shard(victim)
+        after = {key: router.replica_set(key) for key in keys}
+
+        for key in keys:
+            if victim in before[key]:
+                assert victim not in after[key]
+                # Surviving members keep their relative ring order.
+                survivors = [shard for shard in before[key] if shard != victim]
+                assert after[key][: len(survivors)] == survivors
+            elif router.num_shards >= params["replicas"]:
+                assert after[key] == before[key]  # untouched (minimal remap)
+
+    def test_route_request_on_empty_ring_raises(self):
+        router = ReplicaRouter([0], replicas=2)
+        router.remove_shard(0)
+        with pytest.raises(ValueError, match="empty ring"):
+            router.route_request("img0", 1)
+
+    def test_invalid_replicas_raise(self):
+        with pytest.raises(ValueError, match="replicas"):
+            ReplicaRouter([0, 1], replicas=0)
